@@ -1,0 +1,44 @@
+//! Baseline deadlock-freedom schemes the paper compares DRAIN against.
+//!
+//! * [`spin::SpinMechanism`] — a reimplementation of SPIN [5]: per-VC
+//!   timeout counters suspect a deadlock, a probe walks the chain of
+//!   blocked packets, and a confirmed cycle performs a coordinated
+//!   one-hop *spin*. Reactive; needs per-class virtual networks for
+//!   protocol-level deadlock freedom.
+//! * Escape VCs — proactive; implemented entirely by
+//!   [`drain_netsim::routing::EscapeVcRouting`] plus a sticky escape VC, so
+//!   its "mechanism" is [`drain_netsim::mechanism::NoMechanism`]. The
+//!   [`assemble`] helpers wire it correctly.
+//! * [`ideal::IdealMechanism`] — the zero-cost deadlock-free oracle used as
+//!   the "ideal fully adaptive" reference in Fig 5: structural deadlocks
+//!   are resolved by teleporting a blocked packet to its destination.
+//!
+//! # Examples
+//!
+//! ```
+//! use drain_topology::Topology;
+//! use drain_baselines::assemble::{baseline_sim, Baseline};
+//! use drain_netsim::traffic::{SyntheticTraffic, SyntheticPattern};
+//!
+//! let topo = Topology::mesh(4, 4);
+//! let mut sim = baseline_sim(
+//!     &topo,
+//!     Baseline::Spin,
+//!     true,
+//!     Box::new(SyntheticTraffic::new(SyntheticPattern::UniformRandom, 0.05, 1, 3)),
+//!     1,
+//! );
+//! sim.run(2_000);
+//! assert!(sim.stats().ejected > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod ideal;
+pub mod spin;
+
+pub use assemble::{baseline_sim, Baseline};
+pub use ideal::IdealMechanism;
+pub use spin::{SpinConfig, SpinMechanism};

@@ -1,0 +1,49 @@
+//! Fig 3 kernel: one deadlock-likelihood probe (canneal model, faulty
+//! mesh, unprotected adaptive routing) at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drain_coherence::{CoherenceConfig, CoherenceEngine};
+use drain_netsim::mechanism::NoMechanism;
+use drain_netsim::routing::FullyAdaptive;
+use drain_netsim::{Sim, SimConfig};
+use drain_topology::{faults::FaultInjector, Topology};
+use drain_workloads::{app_by_name, AppTrace};
+
+fn bench(c: &mut Criterion) {
+    let topo = FaultInjector::new(7)
+        .remove_links(&Topology::mesh(8, 8), 8)
+        .unwrap();
+    let app = app_by_name("canneal").unwrap();
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(10);
+    g.bench_function("canneal-8faults-probe", |b| {
+        b.iter(|| {
+            let engine = CoherenceEngine::new(
+                &topo,
+                CoherenceConfig::default(),
+                Box::new(AppTrace::new(app.clone(), topo.num_nodes(), 3)),
+            );
+            let mut sim = Sim::new(
+                topo.clone(),
+                SimConfig {
+                    vns: 3,
+                    vcs_per_vn: 1,
+                    inj_queue_capacity: topo.num_nodes() + 8,
+                    deadlock_check_interval: 512,
+                    watchdog_threshold: 5_000,
+                    ..SimConfig::default()
+                },
+                Box::new(FullyAdaptive::new(&topo)),
+                Box::new(NoMechanism),
+                Box::new(engine),
+            )
+            .stop_on_deadlock(true);
+            sim.run(8_000);
+            sim.stats().deadlocked()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig 4 kernel: escape-VC run + active/wasted power attribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drain_baselines::{baseline_sim, Baseline};
+use drain_netsim::traffic::{SyntheticPattern, SyntheticTraffic};
+use drain_power::{network_model, MechanismKind};
+use drain_topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(4, 4);
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    g.bench_function("vn-power-split", |b| {
+        b.iter(|| {
+            let mut sim = baseline_sim(
+                &topo,
+                Baseline::EscapeVc,
+                true,
+                Box::new(SyntheticTraffic::new(SyntheticPattern::UniformRandom, 0.03, 1, 1)),
+                1,
+            );
+            sim.run(2_000);
+            let p = network_model(
+                &topo,
+                3,
+                2,
+                MechanismKind::EscapeVc,
+                sim.stats().flit_hops,
+                sim.core().cycle(),
+                1.0,
+            );
+            (p.active_mw, p.wasted_mw)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig 5 kernel: one up*/down* and one ideal operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_baselines::{baseline_sim, Baseline};
+use drain_netsim::traffic::{SyntheticPattern, SyntheticTraffic};
+use drain_topology::{faults::FaultInjector, Topology};
+
+fn bench(c: &mut Criterion) {
+    let topo = FaultInjector::new(4)
+        .remove_links(&Topology::mesh(8, 8), 8)
+        .unwrap();
+    let mut g = c.benchmark_group("fig05");
+    g.sample_size(10);
+    for baseline in [Baseline::UpDown, Baseline::Ideal] {
+        g.bench_with_input(
+            BenchmarkId::new("point", baseline.name()),
+            &baseline,
+            |b, &bl| {
+                b.iter(|| {
+                    let mut sim = baseline_sim(
+                        &topo,
+                        bl,
+                        false,
+                        Box::new(SyntheticTraffic::new(
+                            SyntheticPattern::UniformRandom,
+                            0.05,
+                            1,
+                            2,
+                        )),
+                        2,
+                    );
+                    sim.warmup_and_measure(1_000, 2_000);
+                    sim.stats().net_latency.mean()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig 6 kernel: drain-path construction + verification + turn-tables on
+//! the figure's topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_path::DrainPath;
+use drain_topology::{faults::FaultInjector, Topology};
+
+fn bench(c: &mut Criterion) {
+    let regular = Topology::mesh(4, 4);
+    let irregular = FaultInjector::new(0xF166)
+        .remove_links(&Topology::mesh(4, 4), 3)
+        .unwrap();
+    let mut g = c.benchmark_group("fig06");
+    for (name, topo) in [("regular", &regular), ("irregular", &irregular)] {
+        g.bench_with_input(BenchmarkId::new("path+verify", name), topo, |b, t| {
+            b.iter(|| {
+                let p = DrainPath::compute(t).unwrap();
+                p.verify(t).unwrap();
+                p.turn_table().is_permutation()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig 8 kernel: scripted double deadlock resolved by one drain window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drain_core::{DrainConfig, DrainMechanism};
+use drain_netsim::routing::FullyAdaptive;
+use drain_netsim::traffic::{SyntheticPattern, SyntheticTraffic};
+use drain_netsim::{MessageClass, Sim, SimConfig, VcRef};
+use drain_path::DrainPath;
+use drain_topology::{chiplet::fig8_topology, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let topo = fig8_topology();
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(30);
+    g.bench_function("deadlock+drain+deliver", |b| {
+        b.iter(|| {
+            let path = DrainPath::compute(&topo).unwrap();
+            let mech = DrainMechanism::new(
+                path,
+                DrainConfig {
+                    epoch: 50,
+                    full_drain_period: 0,
+                    ..DrainConfig::default()
+                },
+            );
+            let mut sim = Sim::new(
+                topo.clone(),
+                SimConfig {
+                    vns: 1,
+                    vcs_per_vn: 1,
+                    num_classes: 1,
+                    escape_sticky: true,
+                    watchdog_threshold: 0,
+                    ..SimConfig::default()
+                },
+                Box::new(FullyAdaptive::with_deflection(&topo, None)),
+                Box::new(mech),
+                Box::new(SyntheticTraffic::new(SyntheticPattern::UniformRandom, 0.0, 1, 0)),
+            );
+            for &((src, at), dest) in &[
+                ((1u16, 0u16), 6u16),
+                ((0, 3), 5),
+                ((3, 4), 2),
+                ((4, 1), 0),
+                ((7, 4), 5),
+                ((4, 5), 8),
+                ((5, 8), 7),
+                ((8, 7), 4),
+            ] {
+                let link = topo.link_between(NodeId(src), NodeId(at)).unwrap();
+                sim.core_mut().place_packet(
+                    VcRef { link, vn: 0, vc: 0 },
+                    NodeId(src),
+                    NodeId(dest),
+                    MessageClass::REQUEST,
+                    1,
+                );
+            }
+            sim.run(2_000);
+            assert_eq!(sim.stats().ejected, 8);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

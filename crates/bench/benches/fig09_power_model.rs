@@ -1,0 +1,23 @@
+//! Fig 9 kernel: area/power model for the three router configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drain_power::{network_model, MechanismKind};
+use drain_topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 8);
+    c.bench_function("fig09/normalized-ratios", |b| {
+        b.iter(|| {
+            let esc = network_model(&topo, 3, 2, MechanismKind::EscapeVc, 0, 1, 1.0);
+            let spin = network_model(&topo, 3, 1, MechanismKind::Spin, 0, 1, 1.0);
+            let drain = network_model(&topo, 1, 1, MechanismKind::Drain, 0, 1, 1.0);
+            (
+                spin.router_area_um2 / esc.router_area_um2,
+                drain.router_static_mw / esc.router_static_mw,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig 10 kernel: one near-saturation operating point per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_bench::sweep::measure_point;
+use drain_bench::{Scale, Scheme};
+use drain_netsim::traffic::SyntheticPattern;
+use drain_topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 8);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for scheme in Scheme::headline() {
+        g.bench_with_input(
+            BenchmarkId::new("saturation-point", scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    measure_point(
+                        s,
+                        &topo,
+                        true,
+                        &SyntheticPattern::UniformRandom,
+                        0.16,
+                        1,
+                        Scheme::DEFAULT_EPOCH,
+                        Scale::Quick,
+                    )
+                    .throughput
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig 11 kernel: one low-load latency point per scheme on a faulty mesh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_bench::sweep::measure_point;
+use drain_bench::{Scale, Scheme};
+use drain_netsim::traffic::SyntheticPattern;
+use drain_topology::{faults::FaultInjector, Topology};
+
+fn bench(c: &mut Criterion) {
+    let topo = FaultInjector::new(2)
+        .remove_links(&Topology::mesh(8, 8), 8)
+        .unwrap();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for scheme in Scheme::headline() {
+        g.bench_with_input(
+            BenchmarkId::new("lowload-point", scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    measure_point(
+                        s,
+                        &topo,
+                        false,
+                        &SyntheticPattern::UniformRandom,
+                        0.02,
+                        1,
+                        Scheme::DEFAULT_EPOCH,
+                        Scale::Quick,
+                    )
+                    .latency
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

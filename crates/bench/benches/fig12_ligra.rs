@@ -1,0 +1,32 @@
+//! Fig 12 kernel: one short Ligra (bfs) closed-loop run per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_bench::scheme::DrainVariant;
+use drain_bench::Scheme;
+use drain_topology::Topology;
+use drain_workloads::app_by_name;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 8);
+    let app = app_by_name("bfs").unwrap();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for scheme in [Scheme::EscapeVc, Scheme::Drain(DrainVariant::Vn1Vc2)] {
+        g.bench_with_input(
+            BenchmarkId::new("bfs-8x8", scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    let mut sim =
+                        s.coherence_sim(&topo, true, &app, Some(30), 2, Scheme::DEFAULT_EPOCH);
+                    sim.run(20_000);
+                    sim.stats().ejected
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

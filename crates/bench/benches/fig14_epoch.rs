@@ -1,0 +1,31 @@
+//! Fig 14 kernel: DRAIN epoch-sensitivity endpoints (16 vs 64K cycles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_core::builder::DrainNetworkBuilder;
+use drain_netsim::traffic::SyntheticPattern;
+use drain_topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 8);
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    for epoch in [16u64, 65_536] {
+        g.bench_with_input(BenchmarkId::new("epoch", epoch), &epoch, |b, &e| {
+            b.iter(|| {
+                let mut sim = DrainNetworkBuilder::new(topo.clone())
+                    .epoch(e)
+                    .pattern(SyntheticPattern::UniformRandom)
+                    .injection_rate(0.02)
+                    .seed(7)
+                    .build()
+                    .unwrap();
+                sim.warmup_and_measure(1_000, 2_000);
+                sim.stats().net_latency.mean()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig 15 kernel: p99 latency of one application run per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_bench::scheme::DrainVariant;
+use drain_bench::Scheme;
+use drain_topology::Topology;
+use drain_workloads::app_by_name;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(4, 4);
+    let app = app_by_name("fluidanimate").unwrap();
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    for scheme in [Scheme::EscapeVc, Scheme::Drain(DrainVariant::Vn1Vc2)] {
+        g.bench_with_input(
+            BenchmarkId::new("p99", scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    let mut sim =
+                        s.coherence_sim(&topo, true, &app, None, 3, Scheme::DEFAULT_EPOCH);
+                    sim.run(10_000);
+                    sim.stats().net_latency.p99()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

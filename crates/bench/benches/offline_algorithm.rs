@@ -1,0 +1,34 @@
+//! Ablation (DESIGN.md §5.1): cost of the two offline drain-path
+//! constructions — Hierholzer (linear) vs the Hawick–James-style search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drain_path::{Algorithm, DrainPath};
+use drain_topology::{faults::FaultInjector, Topology};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offline_algorithm");
+    g.sample_size(20);
+    for (w, h, faults) in [(4u16, 4u16, 0usize), (8, 8, 0), (8, 8, 12), (16, 16, 0)] {
+        let topo = if faults == 0 {
+            Topology::mesh(w, h)
+        } else {
+            FaultInjector::new(1)
+                .remove_links(&Topology::mesh(w, h), faults)
+                .unwrap()
+        };
+        let label = format!("{w}x{h}-f{faults}");
+        for algo in [Algorithm::Hierholzer, Algorithm::HawickJames] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), &label),
+                &topo,
+                |b, topo| {
+                    b.iter(|| DrainPath::compute_with(topo, algo).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

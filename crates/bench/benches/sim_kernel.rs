@@ -1,0 +1,39 @@
+//! Raw simulator speed: cycles/second for each mechanism at moderate load
+//! (an engineering metric, not a paper figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drain_bench::Scheme;
+use drain_netsim::traffic::SyntheticPattern;
+use drain_topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 8);
+    let mut g = c.benchmark_group("sim_kernel");
+    g.sample_size(10);
+    const CYCLES: u64 = 5_000;
+    g.throughput(Throughput::Elements(CYCLES));
+    for scheme in Scheme::headline() {
+        g.bench_with_input(
+            BenchmarkId::new("cycles", scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    let mut sim = s.synthetic_sim(
+                        &topo,
+                        true,
+                        SyntheticPattern::UniformRandom,
+                        0.08,
+                        1,
+                        Scheme::DEFAULT_EPOCH,
+                    );
+                    sim.run(CYCLES);
+                    sim.stats().ejected
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Fig 3: likelihood of deadlocks for PARSEC workload models as links are
+//! removed from an 8×8 mesh.
+//!
+//! Methodology (paper §II-A): fully adaptive routing with **no** deadlock
+//! protection; each workload runs several times per fault count with 1 VC
+//! and 4 VCs per virtual network; a cell reports the percentage of runs
+//! that deadlocked (structural wait-for-graph oracle or progress
+//! watchdog).
+
+use drain_bench::table::{banner, print_table};
+use drain_bench::Scale;
+use drain_coherence::{CoherenceConfig, CoherenceEngine};
+use drain_netsim::{Sim, SimConfig};
+use drain_topology::{faults::FaultInjector, Topology};
+use drain_workloads::{parsec, AppModel, AppTrace};
+
+fn run_once(
+    topo: &Topology,
+    app: &AppModel,
+    vcs_per_vn: usize,
+    seed: u64,
+    budget: u64,
+) -> bool {
+    let config = SimConfig {
+        vns: 3,
+        vcs_per_vn,
+        num_classes: 3,
+        inj_queue_capacity: topo.num_nodes() + 8,
+        deadlock_check_interval: 512,
+        watchdog_threshold: 20_000,
+        seed,
+        ..SimConfig::default()
+    };
+    let trace = AppTrace::new(app.clone(), topo.num_nodes(), seed ^ 0xF16);
+    let engine = CoherenceEngine::new(
+        topo,
+        CoherenceConfig {
+            seed: seed ^ 0x03,
+            ..CoherenceConfig::default()
+        },
+        Box::new(trace),
+    );
+    let mut sim = Sim::new(
+        topo.clone(),
+        config,
+        Box::new(drain_netsim::routing::FullyAdaptive::new(topo)),
+        Box::new(drain_netsim::mechanism::NoMechanism),
+        Box::new(engine),
+    )
+    .stop_on_deadlock(true);
+    sim.run(budget);
+    sim.stats().deadlocked()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig 3",
+        "deadlock likelihood for PARSEC models vs removed links (8x8 mesh, fully adaptive, unprotected)",
+        scale,
+    );
+    let base = Topology::mesh(8, 8);
+    let fault_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![0, 2, 4, 8, 12],
+        Scale::Full => vec![0, 1, 2, 4, 6, 8, 10, 12],
+    };
+    let runs = scale.seeds().max(3);
+    let budget = match scale {
+        Scale::Quick => 60_000,
+        Scale::Full => 300_000,
+    };
+    for vcs in [1usize, 4] {
+        let mut rows = Vec::new();
+        for app in parsec() {
+            let mut row = vec![app.name.to_string()];
+            for &faults in &fault_counts {
+                let mut deadlocked = 0;
+                for r in 0..runs {
+                    let seed = (faults as u64) << 16 | r as u64;
+                    let topo = if faults == 0 {
+                        base.clone()
+                    } else {
+                        FaultInjector::new(seed).remove_links(&base, faults).unwrap()
+                    };
+                    if run_once(&topo, &app, vcs, seed ^ 0xDEAD, budget) {
+                        deadlocked += 1;
+                    }
+                }
+                row.push(format!("{}%", 100 * deadlocked / runs));
+            }
+            rows.push(row);
+        }
+        let mut header: Vec<String> = vec!["app".into()];
+        header.extend(fault_counts.iter().map(|f| format!("{f} links")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Fig 3 — % of runs deadlocking ({vcs} VC/VNet)"),
+            &header_refs,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig 4: power consumed by virtual networks — active vs wasted.
+//!
+//! Runs the escape-VC (3-virtual-network) configuration on each workload
+//! model, feeds the measured flit activity into the DSENT-substitute power
+//! model and splits network power into *active* (moving packets) and
+//! *wasted* (burned while buffers idle). The paper's takeaway — the vast
+//! majority of virtual-network power is wasted — should reproduce.
+
+use drain_bench::table::{banner, f1, pct, print_table};
+use drain_bench::{Scale, Scheme};
+use drain_power::{network_model, MechanismKind};
+use drain_topology::Topology;
+use drain_workloads::{ligra, parsec};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig 4",
+        "virtual-network power: active vs wasted (escape-VC 3-VNet config)",
+        scale,
+    );
+    let mut rows = Vec::new();
+    let apps: Vec<_> = parsec().into_iter().chain(ligra()).collect();
+    let apps = match scale {
+        Scale::Quick => apps.into_iter().take(6).collect::<Vec<_>>(),
+        Scale::Full => apps,
+    };
+    for app in apps {
+        let (w, h) = match app.suite {
+            drain_workloads::Suite::Ligra => (8u16, 8u16),
+            _ => (4, 4),
+        };
+        let topo = Topology::mesh(w, h);
+        let mut sim = Scheme::EscapeVc.coherence_sim(
+            &topo,
+            true,
+            &app,
+            None,
+            11,
+            Scheme::DEFAULT_EPOCH,
+        );
+        sim.run(scale.warmup() + scale.measure());
+        let cycles = sim.core().cycle();
+        let p = network_model(
+            &topo,
+            3,
+            2,
+            MechanismKind::EscapeVc,
+            sim.stats().flit_hops,
+            cycles,
+            1.0,
+        );
+        let total = p.active_mw + p.wasted_mw;
+        rows.push(vec![
+            app.name.to_string(),
+            f1(p.active_mw),
+            f1(p.wasted_mw),
+            pct(p.wasted_mw / total),
+        ]);
+    }
+    print_table(
+        "Fig 4 — network power split (mW)",
+        &["app", "active (mW)", "wasted (mW)", "wasted share"],
+        &rows,
+    );
+    println!("\nPaper takeaway: the vast majority of virtual-network power is wasted.");
+}

@@ -1,0 +1,44 @@
+//! Fig 9: router area and static power, normalized to the escape-VC
+//! baseline.
+//!
+//! Configurations per the paper §V-A: escape VC = 3 VNets × 2 VCs, SPIN =
+//! 3 VNets × 1 VC plus ~15% control overhead, DRAIN = 1 VNet × 1 VC plus
+//! its tiny epoch/turn-table control. Paper results: DRAIN saves ~72%
+//! area and ~77% router power.
+
+use drain_bench::table::{banner, f3, pct, print_table};
+use drain_bench::Scale;
+use drain_power::{network_model, MechanismKind};
+use drain_topology::Topology;
+
+fn main() {
+    banner("Fig 9", "router area & power normalized to escape VC", Scale::from_env());
+    let topo = Topology::mesh(8, 8);
+    let esc = network_model(&topo, 3, 2, MechanismKind::EscapeVc, 0, 1, 1.0);
+    let spin = network_model(&topo, 3, 1, MechanismKind::Spin, 0, 1, 1.0);
+    let drain = network_model(&topo, 1, 1, MechanismKind::Drain, 0, 1, 1.0);
+    let mut rows = Vec::new();
+    for (name, m) in [("EscapeVC", &esc), ("SPIN", &spin), ("DRAIN", &drain)] {
+        rows.push(vec![
+            name.to_string(),
+            f3(m.router_area_um2 / esc.router_area_um2),
+            f3(m.router_static_mw / esc.router_static_mw),
+        ]);
+    }
+    print_table(
+        "Fig 9 — normalized router area and static power",
+        &["scheme", "area (norm)", "static power (norm)"],
+        &rows,
+    );
+    println!(
+        "\nDRAIN saves {} area and {} router power vs escape VC (paper: ~72% and ~77%).",
+        pct(1.0 - drain.router_area_um2 / esc.router_area_um2),
+        pct(1.0 - drain.router_static_mw / esc.router_static_mw),
+    );
+    println!("SPIN control overhead vs a basic (1VNx1VC, DoR) router: {} (paper: ~15%).", {
+        let with = network_model(&topo, 3, 1, MechanismKind::Spin, 0, 1, 1.0);
+        let without = network_model(&topo, 3, 1, MechanismKind::None, 0, 1, 1.0);
+        let basic = network_model(&topo, 1, 1, MechanismKind::None, 0, 1, 1.0);
+        pct((with.router_area_um2 - without.router_area_um2) / basic.router_area_um2)
+    });
+}

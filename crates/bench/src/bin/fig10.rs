@@ -1,0 +1,64 @@
+//! Fig 10: saturation throughput vs faults for escape VCs, SPIN and DRAIN
+//! on an 8×8 mesh, uniform random and transpose traffic.
+//!
+//! Paper shape: escape VCs lowest; SPIN highest; DRAIN matches SPIN on
+//! uniform random and is slightly lower on transpose.
+
+use drain_bench::sweep::{load_sweep, mean, saturation_throughput};
+use drain_bench::table::{banner, f3, print_table};
+use drain_bench::{Scale, Scheme};
+use drain_netsim::traffic::SyntheticPattern;
+use drain_topology::{faults::FaultInjector, Topology};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig 10",
+        "saturation throughput vs faults (8x8 mesh)",
+        scale,
+    );
+    let base = Topology::mesh(8, 8);
+    for pattern in [SyntheticPattern::UniformRandom, SyntheticPattern::Transpose] {
+        let mut rows = Vec::new();
+        for faults in [0usize, 1, 4, 8, 12] {
+            let mut per_scheme = Vec::new();
+            for scheme in Scheme::headline() {
+                let mut sats = Vec::new();
+                for s in 0..scale.seeds() {
+                    let seed = (faults * 1000 + s) as u64;
+                    let topo = if faults == 0 {
+                        base.clone()
+                    } else {
+                        FaultInjector::new(seed).remove_links(&base, faults).unwrap()
+                    };
+                    let pts = load_sweep(
+                        scheme,
+                        &topo,
+                        faults == 0,
+                        &pattern,
+                        seed,
+                        Scheme::DEFAULT_EPOCH,
+                        scale,
+                    );
+                    sats.push(saturation_throughput(&pts));
+                }
+                per_scheme.push(mean(&sats));
+            }
+            rows.push(vec![
+                faults.to_string(),
+                f3(per_scheme[0]),
+                f3(per_scheme[1]),
+                f3(per_scheme[2]),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig 10 — saturation throughput, {} traffic (packets/node/cycle)",
+                pattern.name()
+            ),
+            &["faults", "EscapeVC", "SPIN", "DRAIN (VN-1,VC-2)"],
+            &rows,
+        );
+    }
+    println!("\nPaper shape: EscapeVC lowest; DRAIN ≈ SPIN on uniform random, slightly below SPIN on transpose.");
+}

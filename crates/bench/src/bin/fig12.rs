@@ -1,0 +1,64 @@
+//! Fig 12: Ligra workload models on a 64-node mesh — packet latency and
+//! application runtime for SPIN and three DRAIN configurations, normalized
+//! to escape VCs, at 0 and 8 faults.
+//!
+//! Paper shape: DRAIN ≈ SPIN on runtime; the default DRAIN (VN-1, VC-2)
+//! shows higher packet latency (1/3 of the baselines' VCs) without hurting
+//! runtime.
+
+use drain_bench::apps::run_app_averaged;
+use drain_bench::scheme::DrainVariant;
+use drain_bench::table::{banner, f3, print_table};
+use drain_bench::{Scale, Scheme};
+use drain_topology::Topology;
+use drain_workloads::ligra;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig 12", "Ligra models: latency & runtime normalized to EscapeVC (8x8)", scale);
+    let base = Topology::mesh(8, 8);
+    let apps = match scale {
+        Scale::Quick => ligra().into_iter().take(3).collect::<Vec<_>>(),
+        Scale::Full => ligra(),
+    };
+    let schemes = [
+        Scheme::Spin,
+        Scheme::Drain(DrainVariant::Vn3Vc2),
+        Scheme::Drain(DrainVariant::Vn1Vc6),
+        Scheme::Drain(DrainVariant::Vn1Vc2),
+    ];
+    for faults in [0usize, 8] {
+        let mut lat_rows = Vec::new();
+        let mut rt_rows = Vec::new();
+        for app in &apps {
+            let esc = run_app_averaged(Scheme::EscapeVc, &base, faults, app, scale);
+            let mut lat_row = vec![app.name.to_string()];
+            let mut rt_row = vec![app.name.to_string()];
+            for s in schemes {
+                let r = run_app_averaged(s, &base, faults, app, scale);
+                lat_row.push(f3(r.latency / esc.latency));
+                rt_row.push(f3(r.runtime / esc.runtime));
+            }
+            lat_rows.push(lat_row);
+            rt_rows.push(rt_row);
+        }
+        let header = [
+            "app",
+            "SPIN",
+            "DRAIN VN-3,VC-2",
+            "DRAIN VN-1,VC-6",
+            "DRAIN VN-1,VC-2",
+        ];
+        print_table(
+            &format!("Fig 12 — packet latency vs EscapeVC ({faults} faults)"),
+            &header,
+            &lat_rows,
+        );
+        print_table(
+            &format!("Fig 12 — runtime vs EscapeVC ({faults} faults)"),
+            &header,
+            &rt_rows,
+        );
+    }
+    println!("\nPaper shape: DRAIN ≈ SPIN; VN-1,VC-2 latency is higher (1/3 the VCs) but runtime is unharmed.");
+}

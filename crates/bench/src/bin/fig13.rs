@@ -1,0 +1,65 @@
+//! Fig 13: PARSEC + SPLASH-2 workload models on a 16-node mesh — packet
+//! latency and runtime normalized to escape VCs, 0 and 8 faults.
+
+use drain_bench::apps::run_app_averaged;
+use drain_bench::scheme::DrainVariant;
+use drain_bench::table::{banner, f3, print_table};
+use drain_bench::{Scale, Scheme};
+use drain_topology::Topology;
+use drain_workloads::{parsec, splash2};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig 13",
+        "PARSEC/SPLASH-2 models: latency & runtime normalized to EscapeVC (4x4)",
+        scale,
+    );
+    let base = Topology::mesh(4, 4);
+    let mut apps = parsec();
+    apps.extend(splash2());
+    let apps = match scale {
+        Scale::Quick => apps.into_iter().take(4).collect::<Vec<_>>(),
+        Scale::Full => apps,
+    };
+    let schemes = [
+        Scheme::Spin,
+        Scheme::Drain(DrainVariant::Vn3Vc2),
+        Scheme::Drain(DrainVariant::Vn1Vc6),
+        Scheme::Drain(DrainVariant::Vn1Vc2),
+    ];
+    for faults in [0usize, 8] {
+        let mut lat_rows = Vec::new();
+        let mut rt_rows = Vec::new();
+        for app in &apps {
+            let esc = run_app_averaged(Scheme::EscapeVc, &base, faults, app, scale);
+            let mut lat_row = vec![app.name.to_string()];
+            let mut rt_row = vec![app.name.to_string()];
+            for s in schemes {
+                let r = run_app_averaged(s, &base, faults, app, scale);
+                lat_row.push(f3(r.latency / esc.latency));
+                rt_row.push(f3(r.runtime / esc.runtime));
+            }
+            lat_rows.push(lat_row);
+            rt_rows.push(rt_row);
+        }
+        let header = [
+            "app",
+            "SPIN",
+            "DRAIN VN-3,VC-2",
+            "DRAIN VN-1,VC-6",
+            "DRAIN VN-1,VC-2",
+        ];
+        print_table(
+            &format!("Fig 13 — packet latency vs EscapeVC ({faults} faults)"),
+            &header,
+            &lat_rows,
+        );
+        print_table(
+            &format!("Fig 13 — runtime vs EscapeVC ({faults} faults)"),
+            &header,
+            &rt_rows,
+        );
+    }
+    println!("\nPaper shape: DRAIN ≈ SPIN across apps; default DRAIN trades packet latency, not runtime.");
+}

@@ -1,0 +1,71 @@
+//! Table I: qualitative comparison of deadlock-freedom solutions.
+//!
+//! The paper's Table I is qualitative; this binary prints the same matrix,
+//! with each cell backed by where in this repository the property is
+//! demonstrated (a test or an experiment binary).
+
+use drain_bench::table::print_table;
+
+fn main() {
+    let header = [
+        "Solution",
+        "Type",
+        "High Perf",
+        "Low Area/Power",
+        "Low Complexity",
+        "Routing-Level",
+        "Protocol-Level",
+    ];
+    let rows = vec![
+        vec![
+            "Turn Restrictions [2]".into(),
+            "Proactive".into(),
+            "no (fig05)".into(),
+            "yes".into(),
+            "yes".into(),
+            "yes (updown tests)".into(),
+            "no".into(),
+        ],
+        vec![
+            "Escape VCs [3]".into(),
+            "Proactive".into(),
+            "partial (fig10/fig11)".into(),
+            "no (fig09)".into(),
+            "yes".into(),
+            "yes (escape_vc tests)".into(),
+            "no (needs VNs)".into(),
+        ],
+        vec![
+            "Virtual Networks [4]".into(),
+            "Proactive".into(),
+            "yes".into(),
+            "no (fig04)".into(),
+            "yes".into(),
+            "no".into(),
+            "yes".into(),
+        ],
+        vec![
+            "SPIN [5]".into(),
+            "Reactive".into(),
+            "yes (fig10/fig11)".into(),
+            "partial (fig09)".into(),
+            "no (probe h/w)".into(),
+            "yes (spin tests)".into(),
+            "no (needs VNs)".into(),
+        ],
+        vec![
+            "DRAIN".into(),
+            "Subactive".into(),
+            "yes (fig10/fig11)".into(),
+            "yes (fig09)".into(),
+            "yes (turn-table)".into(),
+            "yes (drain tests)".into(),
+            "yes (coherence tests)".into(),
+        ],
+    ];
+    print_table(
+        "Table I — solutions for routing-level and protocol-level deadlock freedom",
+        &header,
+        &rows,
+    );
+}

@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `src/bin/figNN.rs` binary reproduces one paper figure/table and
+//! prints the same rows/series as a markdown table. All binaries honour
+//! the `DRAIN_SCALE` environment variable:
+//!
+//! * `quick` (default) — reduced seeds and cycle counts, minutes total;
+//! * `full` — the paper's 10 fault patterns per point and long windows.
+//!
+//! The building blocks live here:
+//!
+//! * [`scale`] — run-length/seed policy.
+//! * [`scheme`] — assembling each evaluated scheme (escape VC, SPIN, the
+//!   three DRAIN configurations, ideal, up*/down*) for synthetic and
+//!   coherence workloads.
+//! * [`sweep`] — load–latency sweeps and saturation-throughput search.
+//! * [`table`] — markdown row printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod scale;
+pub mod scheme;
+pub mod sweep;
+pub mod table;
+
+pub use scale::Scale;
+pub use scheme::{Scheme, Workload};

@@ -1,0 +1,57 @@
+//! Markdown table printing for experiment outputs.
+
+/// Prints a markdown table: header row, separator, then rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", x * 100.0)
+    }
+}
+
+/// Prints the standard experiment banner (scale, scope).
+pub fn banner(figure: &str, description: &str, scale: crate::Scale) {
+    println!("# {figure} — {description}");
+    println!("(scale: {}; set DRAIN_SCALE=full for the paper's methodology)", scale.label());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f1(12.345), "12.3");
+        assert_eq!(pct(0.7761), "77.6%");
+        assert_eq!(f3(f64::NAN), "n/a");
+    }
+}

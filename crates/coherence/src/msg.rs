@@ -1,0 +1,184 @@
+//! Coherence messages and their packing into packet tags.
+
+use drain_netsim::MessageClass;
+use drain_topology::NodeId;
+
+/// A cache-line address (already line-granular).
+pub type Addr = u32;
+
+/// Coherence message types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Read request (core → home).
+    GetS = 0,
+    /// Write/ownership request (core → home).
+    GetM = 1,
+    /// Dirty writeback (owner → home).
+    PutM = 2,
+    /// Forwarded read (home → owner).
+    FwdGetS = 3,
+    /// Forwarded write (home → owner).
+    FwdGetM = 4,
+    /// Invalidate (home → sharer).
+    Inv = 5,
+    /// Shared data (→ requester).
+    Data = 6,
+    /// Exclusive data (→ requester; grants E).
+    DataE = 7,
+    /// Invalidation ack (sharer → requester).
+    InvAck = 8,
+    /// Writeback ack (home → owner).
+    WBAck = 9,
+    /// Ownership-transfer completion (old owner → home; MESI read
+    /// transfers carry the dirty data back with it).
+    AckToHome = 10,
+    /// Transaction-complete notification (requester → home): unblocks the
+    /// address at the blocking directory.
+    Unblock = 11,
+}
+
+impl MsgType {
+    /// The message class (virtual network) this type travels on.
+    pub fn class(self) -> MessageClass {
+        match self {
+            MsgType::GetS | MsgType::GetM | MsgType::PutM => MessageClass::REQUEST,
+            MsgType::FwdGetS | MsgType::FwdGetM | MsgType::Inv => MessageClass::FORWARD,
+            MsgType::Data
+            | MsgType::DataE
+            | MsgType::InvAck
+            | MsgType::WBAck
+            | MsgType::AckToHome
+            | MsgType::Unblock => MessageClass::RESPONSE,
+        }
+    }
+
+    /// Whether the message carries a data payload (data-packet length).
+    pub fn carries_data(self) -> bool {
+        matches!(
+            self,
+            MsgType::Data | MsgType::DataE | MsgType::PutM | MsgType::AckToHome
+        )
+    }
+
+    fn from_u8(v: u8) -> MsgType {
+        match v {
+            0 => MsgType::GetS,
+            1 => MsgType::GetM,
+            2 => MsgType::PutM,
+            3 => MsgType::FwdGetS,
+            4 => MsgType::FwdGetM,
+            5 => MsgType::Inv,
+            6 => MsgType::Data,
+            7 => MsgType::DataE,
+            8 => MsgType::InvAck,
+            9 => MsgType::WBAck,
+            10 => MsgType::AckToHome,
+            11 => MsgType::Unblock,
+            _ => panic!("invalid MsgType encoding: {v}"),
+        }
+    }
+}
+
+/// A coherence message, packed into a packet's 64-bit tag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CohMsg {
+    /// Message type.
+    pub mtype: MsgType,
+    /// The cache-line address.
+    pub addr: Addr,
+    /// The original requester of the transaction this message belongs to.
+    pub requester: NodeId,
+    /// For `Data`/`DataE` on a GetM: how many InvAcks the requester must
+    /// collect.
+    pub ack_count: u8,
+}
+
+impl CohMsg {
+    /// Creates a message with zero ack count.
+    pub fn new(mtype: MsgType, addr: Addr, requester: NodeId) -> Self {
+        CohMsg {
+            mtype,
+            addr,
+            requester,
+            ack_count: 0,
+        }
+    }
+
+    /// Sets the ack count (builder style).
+    pub fn with_acks(mut self, acks: u8) -> Self {
+        self.ack_count = acks;
+        self
+    }
+
+    /// Packs into a packet tag: `addr` in bits 0..32, type in 32..40,
+    /// requester in 40..56, ack count in 56..64.
+    pub fn pack(self) -> u64 {
+        (self.addr as u64)
+            | ((self.mtype as u64) << 32)
+            | ((self.requester.0 as u64) << 40)
+            | ((self.ack_count as u64) << 56)
+    }
+
+    /// Unpacks from a packet tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag's type field is not a valid [`MsgType`].
+    pub fn unpack(tag: u64) -> Self {
+        CohMsg {
+            addr: (tag & 0xFFFF_FFFF) as Addr,
+            mtype: MsgType::from_u8(((tag >> 32) & 0xFF) as u8),
+            requester: NodeId(((tag >> 40) & 0xFFFF) as u16),
+            ack_count: ((tag >> 56) & 0xFF) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for mtype in [
+            MsgType::GetS,
+            MsgType::GetM,
+            MsgType::PutM,
+            MsgType::FwdGetS,
+            MsgType::FwdGetM,
+            MsgType::Inv,
+            MsgType::Data,
+            MsgType::DataE,
+            MsgType::InvAck,
+            MsgType::WBAck,
+            MsgType::AckToHome,
+            MsgType::Unblock,
+        ] {
+            let m = CohMsg {
+                mtype,
+                addr: 0xDEAD_BEEF,
+                requester: NodeId(63),
+                ack_count: 17,
+            };
+            assert_eq!(CohMsg::unpack(m.pack()), m);
+        }
+    }
+
+    #[test]
+    fn class_mapping_matches_paper() {
+        assert_eq!(MsgType::GetS.class(), MessageClass::REQUEST);
+        assert_eq!(MsgType::Inv.class(), MessageClass::FORWARD);
+        assert_eq!(MsgType::InvAck.class(), MessageClass::RESPONSE);
+        assert_eq!(MsgType::PutM.class(), MessageClass::REQUEST);
+        assert_eq!(MsgType::AckToHome.class(), MessageClass::RESPONSE);
+    }
+
+    #[test]
+    fn data_messages_are_long() {
+        assert!(MsgType::Data.carries_data());
+        assert!(MsgType::PutM.carries_data());
+        assert!(!MsgType::GetS.carries_data());
+        assert!(!MsgType::InvAck.carries_data());
+    }
+}

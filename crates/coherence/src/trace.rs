@@ -1,0 +1,213 @@
+//! Memory-reference streams driving the coherence engine.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use drain_topology::NodeId;
+
+use crate::msg::Addr;
+
+/// One memory operation issued by a core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemOp {
+    /// Cache-line address.
+    pub addr: Addr,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+}
+
+/// A per-core memory-reference stream.
+///
+/// The workloads crate implements application-shaped models on this trait;
+/// [`SyntheticMemTrace`] is the plain stochastic version used in tests.
+pub trait MemoryTrace: Send {
+    /// The operation core `core` wants to issue at `cycle`, if any. The
+    /// engine calls this at most once per core per cycle and only when the
+    /// core is able to issue (free MSHR + queue space); returning `None`
+    /// means the core is idle this cycle.
+    fn next_op(&mut self, core: NodeId, cycle: u64) -> Option<MemOp>;
+
+    /// Short name for reports.
+    fn name(&self) -> &str {
+        "trace"
+    }
+
+    /// Optional per-core operation quota; `None` = open-ended.
+    fn quota(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Bernoulli issue, uniform address pool with a shared region: each op
+/// targets the shared pool with probability `sharing`, else the core's
+/// private slice.
+#[derive(Clone, Debug)]
+pub struct SyntheticMemTrace {
+    issue_rate: f64,
+    write_frac: f64,
+    pool_size: u32,
+    sharing: f64,
+    quota: Option<u64>,
+    rng: ChaCha8Rng,
+}
+
+impl SyntheticMemTrace {
+    /// Uniform trace: `issue_rate` ops/cycle/core, `write_frac` stores,
+    /// `pool_size` shared lines, all-shared addressing.
+    pub fn uniform(issue_rate: f64, write_frac: f64, pool_size: u32, seed: u64) -> Self {
+        SyntheticMemTrace {
+            issue_rate,
+            write_frac,
+            pool_size,
+            sharing: 1.0,
+            quota: None,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fraction of accesses that hit the shared pool (the rest go to a
+    /// per-core private region).
+    pub fn with_sharing(mut self, sharing: f64) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Stops each core after `ops` operations (closed-loop runtime runs).
+    pub fn with_quota(mut self, ops: u64) -> Self {
+        self.quota = Some(ops);
+        self
+    }
+}
+
+impl MemoryTrace for SyntheticMemTrace {
+    fn next_op(&mut self, core: NodeId, _cycle: u64) -> Option<MemOp> {
+        if self.rng.gen::<f64>() >= self.issue_rate {
+            return None;
+        }
+        let shared = self.rng.gen::<f64>() < self.sharing;
+        let addr = if shared {
+            self.rng.gen_range(0..self.pool_size)
+        } else {
+            // Private region: high bits carry the core id.
+            self.pool_size + (core.0 as u32) * 4096 + self.rng.gen_range(0..256)
+        };
+        Some(MemOp {
+            addr,
+            is_write: self.rng.gen::<f64>() < self.write_frac,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "synthetic-mem"
+    }
+
+    fn quota(&self) -> Option<u64> {
+        self.quota
+    }
+}
+
+/// Fully scripted per-core operation queues — protocol FSM tests drive
+/// exact transaction interleavings with this.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedTrace {
+    /// Per-core queues of `(earliest_cycle, op)`.
+    queues: Vec<std::collections::VecDeque<(u64, MemOp)>>,
+}
+
+impl ScriptedTrace {
+    /// Creates an empty script for `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        ScriptedTrace {
+            queues: vec![std::collections::VecDeque::new(); num_cores],
+        }
+    }
+
+    /// Appends an operation for `core`, issued no earlier than `cycle`
+    /// (builder style).
+    pub fn op(mut self, core: u16, cycle: u64, addr: Addr, is_write: bool) -> Self {
+        self.queues[core as usize].push_back((cycle, MemOp { addr, is_write }));
+        self
+    }
+
+    /// Operations not yet issued.
+    pub fn remaining(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+impl MemoryTrace for ScriptedTrace {
+    fn next_op(&mut self, core: NodeId, cycle: u64) -> Option<MemOp> {
+        let q = self.queues.get_mut(core.index())?;
+        match q.front() {
+            Some(&(at, op)) if at <= cycle => {
+                q.pop_front();
+                Some(op)
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_trace_orders_and_times_ops() {
+        let mut t = ScriptedTrace::new(2)
+            .op(0, 5, 100, false)
+            .op(0, 5, 101, true)
+            .op(1, 0, 200, false);
+        assert_eq!(t.remaining(), 3);
+        assert_eq!(t.next_op(NodeId(0), 0), None, "not before cycle 5");
+        assert_eq!(
+            t.next_op(NodeId(1), 0),
+            Some(MemOp {
+                addr: 200,
+                is_write: false
+            })
+        );
+        assert_eq!(
+            t.next_op(NodeId(0), 6),
+            Some(MemOp {
+                addr: 100,
+                is_write: false
+            })
+        );
+        assert_eq!(
+            t.next_op(NodeId(0), 6),
+            Some(MemOp {
+                addr: 101,
+                is_write: true
+            })
+        );
+        assert_eq!(t.remaining(), 0);
+    }
+
+    #[test]
+    fn issue_rate_respected() {
+        let mut t = SyntheticMemTrace::uniform(0.5, 0.3, 64, 1);
+        let issued = (0..10_000)
+            .filter(|&c| t.next_op(NodeId(0), c).is_some())
+            .count();
+        assert!((3_500..6_500).contains(&issued), "issued {issued}");
+    }
+
+    #[test]
+    fn private_addresses_disjoint() {
+        let mut t = SyntheticMemTrace::uniform(1.0, 0.5, 64, 2).with_sharing(0.0);
+        let a = t.next_op(NodeId(1), 0).unwrap().addr;
+        let b = t.next_op(NodeId(2), 0).unwrap().addr;
+        assert_ne!(a / 4096, b / 4096);
+    }
+
+    #[test]
+    fn quota_plumbs_through() {
+        let t = SyntheticMemTrace::uniform(0.1, 0.1, 8, 3).with_quota(100);
+        assert_eq!(t.quota(), Some(100));
+    }
+}

@@ -1,0 +1,117 @@
+//! Hierholzer's Eulerian-circuit construction.
+//!
+//! The symmetric digraph induced by a connected bidirectional topology is
+//! always Eulerian (in-degree equals out-degree at every node), so a circuit
+//! using every unidirectional link exactly once exists and Hierholzer's
+//! algorithm finds one in O(E).
+
+use drain_topology::{LinkId, NodeId, Topology};
+
+use crate::DrainPathError;
+
+/// Computes an Eulerian circuit of `topo` as a link sequence.
+///
+/// The returned sequence `c` satisfies `topo.link(c[i]).dst ==
+/// topo.link(c[i+1]).src` (cyclically) and contains every unidirectional
+/// link exactly once.
+///
+/// # Errors
+///
+/// [`DrainPathError::NoLinks`] for a linkless topology and
+/// [`DrainPathError::Disconnected`] when the circuit cannot cover all links
+/// (disconnected input).
+pub fn hierholzer_circuit(topo: &Topology) -> Result<Vec<LinkId>, DrainPathError> {
+    let m = topo.num_unidirectional_links();
+    if m == 0 {
+        return Err(DrainPathError::NoLinks);
+    }
+    // next_out[n]: cursor into topo.out_links(n) of the next unused link.
+    let mut next_out = vec![0usize; topo.num_nodes()];
+    let start: NodeId = topo.link(LinkId(0)).src;
+
+    // Iterative Hierholzer: walk until stuck (back at a node with no unused
+    // out-links), then backtrack and splice sub-tours.
+    let mut stack: Vec<NodeId> = vec![start];
+    let mut link_stack: Vec<LinkId> = Vec::new();
+    let mut circuit_rev: Vec<LinkId> = Vec::with_capacity(m);
+    while let Some(&v) = stack.last() {
+        let outs = topo.out_links(v);
+        if next_out[v.index()] < outs.len() {
+            let l = outs[next_out[v.index()]];
+            next_out[v.index()] += 1;
+            stack.push(topo.link(l).dst);
+            link_stack.push(l);
+        } else {
+            stack.pop();
+            if let Some(l) = link_stack.pop() {
+                circuit_rev.push(l);
+            }
+        }
+    }
+    if circuit_rev.len() != m {
+        // Some links were unreachable: the graph is disconnected.
+        return Err(DrainPathError::Disconnected);
+    }
+    circuit_rev.reverse();
+    Ok(circuit_rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drain_topology::depgraph::DependencyGraph;
+    use drain_topology::faults::FaultInjector;
+
+    fn assert_euler(topo: &Topology) {
+        let c = hierholzer_circuit(topo).unwrap();
+        assert_eq!(c.len(), topo.num_unidirectional_links());
+        let mut seen = vec![false; c.len()];
+        for &l in &c {
+            assert!(!seen[l.index()], "link used twice");
+            seen[l.index()] = true;
+        }
+        for i in 0..c.len() {
+            let a = topo.link(c[i]);
+            let b = topo.link(c[(i + 1) % c.len()]);
+            assert_eq!(a.dst, b.src, "circuit breaks at position {i}");
+        }
+        assert!(DependencyGraph::new(topo).is_closed_walk(&c));
+    }
+
+    #[test]
+    fn meshes() {
+        assert_euler(&Topology::mesh(2, 2));
+        assert_euler(&Topology::mesh(8, 8));
+        assert_euler(&Topology::mesh(1, 5));
+    }
+
+    #[test]
+    fn tori_and_rings() {
+        assert_euler(&Topology::torus(4, 4));
+        assert_euler(&Topology::ring(3));
+        assert_euler(&Topology::ring(16));
+    }
+
+    #[test]
+    fn faulty_meshes() {
+        for seed in 0..10 {
+            let t = FaultInjector::new(seed)
+                .remove_links(&Topology::mesh(8, 8), 12)
+                .unwrap();
+            assert_euler(&t);
+        }
+    }
+
+    #[test]
+    fn random_topologies() {
+        for seed in 0..10 {
+            assert_euler(&drain_topology::chiplet::random_connected(20, 3.0, seed));
+        }
+    }
+
+    #[test]
+    fn disconnected_fails() {
+        let t = Topology::from_edges("dis", 4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(hierholzer_circuit(&t), Err(DrainPathError::Disconnected));
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-router drain turn-tables (paper Fig 7).
+//!
+//! During a drain window the router does not consult the routing function:
+//! each input port's escape VC is forced onto the output port given by the
+//! turn-table. Because the drain path visits every unidirectional link
+//! exactly once, the map *input link → next link* is a permutation of all
+//! links, so simultaneously shifting every escape-VC packet one hop is
+//! conflict-free.
+
+use drain_topology::{LinkId, NodeId, Topology};
+
+/// The global drain turn-table: for every unidirectional link, the link a
+/// drained packet is forced onto next.
+///
+/// # Examples
+///
+/// ```
+/// use drain_topology::Topology;
+/// use drain_path::DrainPath;
+///
+/// let topo = Topology::mesh(3, 3);
+/// let path = DrainPath::compute(&topo)?;
+/// let tt = path.turn_table();
+/// for l in topo.link_ids() {
+///     // The forced turn pivots at the link's destination router.
+///     assert_eq!(topo.link(l).dst, topo.link(tt.next(l)).src);
+/// }
+/// # Ok::<(), drain_path::DrainPathError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TurnTable {
+    /// `next[l]` = successor link of `l` on the drain path.
+    next: Vec<LinkId>,
+}
+
+impl TurnTable {
+    /// Builds the table from a covering circuit (already verified by the
+    /// caller).
+    pub(crate) fn from_circuit(topo: &Topology, circuit: &[LinkId]) -> Self {
+        let mut next = vec![LinkId(u32::MAX); topo.num_unidirectional_links()];
+        for i in 0..circuit.len() {
+            let from = circuit[i];
+            let to = circuit[(i + 1) % circuit.len()];
+            next[from.index()] = to;
+        }
+        debug_assert!(next.iter().all(|l| l.0 != u32::MAX));
+        TurnTable { next }
+    }
+
+    /// Successor of link `l` on the drain path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range for the topology the table was built
+    /// from.
+    #[inline]
+    pub fn next(&self, l: LinkId) -> LinkId {
+        self.next[l.index()]
+    }
+
+    /// Number of links covered.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Turn tables are never empty for valid drain paths.
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// The entries of router `r`'s local table: `(input link, output link)`
+    /// pairs for every link arriving at `r`, as the hardware table in the
+    /// paper's Fig 7 would store them.
+    pub fn router_entries(&self, topo: &Topology, r: NodeId) -> Vec<(LinkId, LinkId)> {
+        topo.in_links(r)
+            .iter()
+            .map(|&l| (l, self.next(l)))
+            .collect()
+    }
+
+    /// Validates the permutation property: every link appears exactly once
+    /// as a successor.
+    pub fn is_permutation(&self) -> bool {
+        let mut seen = vec![false; self.next.len()];
+        for &l in &self.next {
+            if l.index() >= seen.len() || seen[l.index()] {
+                return false;
+            }
+            seen[l.index()] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DrainPath;
+    use drain_topology::faults::FaultInjector;
+
+    #[test]
+    fn table_is_permutation() {
+        let topo = FaultInjector::new(8)
+            .remove_links(&Topology::mesh(6, 6), 6)
+            .unwrap();
+        let p = DrainPath::compute(&topo).unwrap();
+        assert!(p.turn_table().is_permutation());
+        assert_eq!(p.turn_table().len(), topo.num_unidirectional_links());
+    }
+
+    #[test]
+    fn entries_pivot_at_router() {
+        let topo = Topology::mesh(4, 4);
+        let p = DrainPath::compute(&topo).unwrap();
+        for r in topo.nodes() {
+            let entries = p.turn_table().router_entries(&topo, r);
+            assert_eq!(entries.len(), topo.in_links(r).len());
+            for (inl, outl) in entries {
+                assert_eq!(topo.link(inl).dst, r);
+                assert_eq!(topo.link(outl).src, r);
+            }
+        }
+    }
+
+    #[test]
+    fn every_router_covered_by_some_entry() {
+        let topo = drain_topology::chiplet::demo_heterogeneous_system(2);
+        let p = DrainPath::compute(&topo).unwrap();
+        for r in topo.nodes() {
+            assert!(
+                !p.turn_table().router_entries(&topo, r).is_empty(),
+                "router {r:?} has no drain turn entries"
+            );
+        }
+    }
+}

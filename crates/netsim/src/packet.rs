@@ -1,0 +1,230 @@
+//! Packets, message classes and the packet slab.
+
+use std::fmt;
+
+use drain_topology::{LinkId, NodeId};
+
+/// Identifier of a live packet (an index into the simulator's packet slab).
+///
+/// Ids are reused after a packet leaves the network, so they are only
+/// meaningful while the packet is live.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u32);
+
+impl fmt::Debug for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Coherence message class (paper: requests / forwards / responses).
+///
+/// Classes map onto virtual networks (`vn = class % vns`); with a single
+/// virtual network all classes share buffers, which is what enables
+/// protocol-level deadlock — and what DRAIN makes safe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MessageClass(pub u8);
+
+impl MessageClass {
+    /// Coherence requests (GetS/GetM/PutM).
+    pub const REQUEST: MessageClass = MessageClass(0);
+    /// Directory-generated forwards/invalidations.
+    pub const FORWARD: MessageClass = MessageClass(1);
+    /// Responses (data, acks) — the protocol's sink class.
+    pub const RESPONSE: MessageClass = MessageClass(2);
+
+    /// Index into per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MessageClass::REQUEST => write!(f, "req"),
+            MessageClass::FORWARD => write!(f, "fwd"),
+            MessageClass::RESPONSE => write!(f, "resp"),
+            MessageClass(c) => write!(f, "class{c}"),
+        }
+    }
+}
+
+/// Where a packet currently is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Location {
+    /// Waiting in its source node's per-class injection queue.
+    InjectionQueue(NodeId),
+    /// Occupying the VC buffer of `link`'s downstream input port.
+    Vc {
+        /// Input link whose buffer holds the packet.
+        link: LinkId,
+        /// Virtual network index.
+        vn: u8,
+        /// VC index within the virtual network (0 = escape).
+        vc: u8,
+    },
+    /// Delivered into the destination's per-class ejection queue.
+    EjectionQueue(NodeId),
+}
+
+/// A packet in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Message class (determines the virtual network).
+    pub class: MessageClass,
+    /// Length in flits (serialization cycles on a link).
+    pub len_flits: u32,
+    /// Cycle the packet was created/enqueued at the source.
+    pub birth_cycle: u64,
+    /// Cycle the packet entered the network (won injection), or `u64::MAX`.
+    pub inject_cycle: u64,
+    /// Current location.
+    pub loc: Location,
+    /// Hops taken (normal plus drained).
+    pub hops: u32,
+    /// Hops that did not reduce distance to the destination.
+    pub misroutes: u32,
+    /// Hops forced by a drain or spin.
+    pub forced_hops: u32,
+    /// Opaque tag for endpoint models (e.g. coherence transaction ids).
+    pub tag: u64,
+}
+
+/// Slab of live packets with id reuse.
+#[derive(Clone, Debug, Default)]
+pub struct PacketSlab {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketSlab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a packet, returning its id.
+    pub fn insert(&mut self, p: Packet) -> PacketId {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(p);
+            PacketId(i)
+        } else {
+            self.slots.push(Some(p));
+            PacketId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Removes a packet, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn remove(&mut self, id: PacketId) -> Packet {
+        let p = self.slots[id.0 as usize]
+            .take()
+            .expect("packet id not live");
+        self.free.push(id.0);
+        self.live -= 1;
+        p
+    }
+
+    /// Shared access to a live packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    #[inline]
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.slots[id.0 as usize].as_ref().expect("packet id not live")
+    }
+
+    /// Mutable access to a live packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    #[inline]
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.slots[id.0 as usize].as_mut().expect("packet id not live")
+    }
+
+    /// Number of live packets.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no packets are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterator over `(id, packet)` for live packets.
+    pub fn iter(&self) -> impl Iterator<Item = (PacketId, &Packet)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (PacketId(i as u32), p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(src: u16, dest: u16) -> Packet {
+        Packet {
+            src: NodeId(src),
+            dest: NodeId(dest),
+            class: MessageClass::REQUEST,
+            len_flits: 1,
+            birth_cycle: 0,
+            inject_cycle: u64::MAX,
+            loc: Location::InjectionQueue(NodeId(src)),
+            hops: 0,
+            misroutes: 0,
+            forced_hops: 0,
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn slab_insert_remove_reuse() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(dummy(0, 1));
+        let b = slab.insert(dummy(1, 2));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).dest, NodeId(1));
+        slab.remove(a);
+        assert_eq!(slab.len(), 1);
+        let c = slab.insert(dummy(2, 3));
+        assert_eq!(c, a, "slot should be reused");
+        assert_eq!(slab.get(b).dest, NodeId(2));
+        assert_eq!(slab.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn slab_get_dead_panics() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(dummy(0, 1));
+        slab.remove(a);
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    fn class_constants_are_distinct() {
+        assert_ne!(MessageClass::REQUEST, MessageClass::FORWARD);
+        assert_ne!(MessageClass::FORWARD, MessageClass::RESPONSE);
+        assert_eq!(MessageClass::RESPONSE.index(), 2);
+        assert_eq!(format!("{}", MessageClass::REQUEST), "req");
+        assert_eq!(format!("{}", MessageClass(5)), "class5");
+    }
+}

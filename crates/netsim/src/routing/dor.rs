@@ -1,0 +1,137 @@
+//! Dimension-order (XY) routing for fault-free meshes.
+//!
+//! XY routing is deadlock-free by construction (its channel-dependency
+//! graph is acyclic) and is the paper's escape-VC routing on the regular
+//! mesh (Table II).
+
+use drain_topology::{LinkId, NodeId, Topology};
+
+use super::{Candidate, RouteCtx, Routing, TargetVc};
+
+/// The unique XY next hop from `cur` toward `dest` on a mesh topology, or
+/// `None` when `cur == dest`.
+///
+/// # Panics
+///
+/// Panics if `topo` has no mesh coordinates or the required mesh link is
+/// missing (i.e. the mesh is faulty — DoR is only valid on full meshes).
+pub fn dor_next_hop(topo: &Topology, cur: NodeId, dest: NodeId) -> Option<LinkId> {
+    if cur == dest {
+        return None;
+    }
+    let (cx, cy) = topo.coord(cur).expect("DoR requires mesh coordinates");
+    let (dx, dy) = topo.coord(dest).expect("DoR requires mesh coordinates");
+    let (w, _) = topo.mesh_dims().expect("DoR requires mesh dimensions");
+    let next = if cx != dx {
+        // X first.
+        if dx > cx {
+            NodeId(cur.0 + 1)
+        } else {
+            NodeId(cur.0 - 1)
+        }
+    } else if dy > cy {
+        NodeId(cur.0 + w)
+    } else {
+        NodeId(cur.0 - w)
+    };
+    Some(
+        topo.link_between(cur, next)
+            .expect("DoR requires a full (fault-free) mesh"),
+    )
+}
+
+/// Pure dimension-order routing on every VC.
+#[derive(Clone, Debug)]
+pub struct DorAll {
+    topo: Topology,
+}
+
+impl DorAll {
+    /// Builds XY routing for a mesh topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` lacks mesh coordinates.
+    pub fn new(topo: &Topology) -> Self {
+        assert!(
+            topo.coord(NodeId(0)).is_some(),
+            "DoR requires a mesh-derived topology"
+        );
+        DorAll { topo: topo.clone() }
+    }
+}
+
+impl Routing for DorAll {
+    fn name(&self) -> &str {
+        "dor"
+    }
+
+    fn candidates(&self, ctx: &RouteCtx, out: &mut Vec<Candidate>) {
+        if let Some(link) = dor_next_hop(&self.topo, ctx.cur, ctx.dest) {
+            let target = if ctx.in_escape {
+                TargetVc::EscapeOnly
+            } else {
+                TargetVc::Any
+            };
+            out.push(Candidate { link, target });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_goes_x_first() {
+        let t = Topology::mesh(4, 4);
+        // From (0,0) to (2,1): first hop must be +x (node 1).
+        let l = dor_next_hop(&t, NodeId(0), NodeId(6)).unwrap();
+        assert_eq!(t.link(l).dst, NodeId(1));
+        // From (2,0) to (2,3): x aligned, hop must be +y (node 6).
+        let l = dor_next_hop(&t, NodeId(2), NodeId(14)).unwrap();
+        assert_eq!(t.link(l).dst, NodeId(6));
+    }
+
+    #[test]
+    fn xy_reaches_destination() {
+        let t = Topology::mesh(5, 5);
+        for s in t.nodes() {
+            for d in t.nodes() {
+                let mut cur = s;
+                let mut hops = 0;
+                while cur != d {
+                    let l = dor_next_hop(&t, cur, d).unwrap();
+                    cur = t.link(l).dst;
+                    hops += 1;
+                    assert!(hops <= 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_destination_no_hop() {
+        let t = Topology::mesh(3, 3);
+        assert_eq!(dor_next_hop(&t, NodeId(4), NodeId(4)), None);
+    }
+
+    #[test]
+    fn routing_trait_emits_single_candidate() {
+        let t = Topology::mesh(4, 4);
+        let r = DorAll::new(&t);
+        let mut out = Vec::new();
+        r.candidates(
+            &RouteCtx {
+                cur: NodeId(0),
+                dest: NodeId(15),
+                arrived_via: None,
+                in_escape: false,
+                blocked_for: 0,
+                sample: 9,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+    }
+}

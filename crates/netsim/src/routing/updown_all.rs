@@ -1,0 +1,121 @@
+//! Pure up*/down* routing on every VC (Fig 5 baseline).
+
+use drain_topology::{updown::UpDownRouting, Topology};
+
+use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc};
+
+/// Topology-agnostic up*/down* routing applied to all VCs: deadlock-free by
+/// construction, at the cost of non-minimal paths and reduced path
+/// diversity — the performance gap Fig 5 quantifies.
+#[derive(Clone, Debug)]
+pub struct UpDownAll {
+    ud: UpDownRouting,
+}
+
+impl UpDownAll {
+    /// Builds up*/down* tables for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        UpDownAll {
+            ud: UpDownRouting::new(topo),
+        }
+    }
+
+    /// Wraps precomputed tables.
+    pub fn from_tables(ud: UpDownRouting) -> Self {
+        UpDownAll { ud }
+    }
+
+    /// The underlying tables.
+    pub fn tables(&self) -> &UpDownRouting {
+        &self.ud
+    }
+}
+
+impl Routing for UpDownAll {
+    fn name(&self) -> &str {
+        "updown"
+    }
+
+    fn candidates(&self, ctx: &RouteCtx, out: &mut Vec<Candidate>) {
+        let phase = self.ud.phase_after(ctx.arrived_via);
+        let links = self.ud.next_hops(ctx.cur, ctx.dest, phase);
+        let target = if ctx.in_escape {
+            TargetVc::EscapeOnly
+        } else {
+            TargetVc::Any
+        };
+        push_rotated(links, ctx.sample, target, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drain_topology::faults::FaultInjector;
+    use drain_topology::NodeId;
+
+    #[test]
+    fn candidates_follow_phase() {
+        let topo = FaultInjector::new(4)
+            .remove_links(&Topology::mesh(6, 6), 6)
+            .unwrap();
+        let r = UpDownAll::new(&topo);
+        let mut out = Vec::new();
+        for cur in topo.nodes() {
+            for dest in topo.nodes() {
+                if cur == dest {
+                    continue;
+                }
+                out.clear();
+                r.candidates(
+                    &RouteCtx {
+                        cur,
+                        dest,
+                        arrived_via: None,
+                        in_escape: false,
+                        blocked_for: 0,
+                        sample: 1,
+                    },
+                    &mut out,
+                );
+                assert!(!out.is_empty(), "injected packet must have a route");
+            }
+        }
+        // Phase restriction: after arriving on a down link, only down links
+        // may be candidates.
+        let down = topo
+            .link_ids()
+            .find(|&l| {
+                matches!(
+                    r.tables().direction(l),
+                    drain_topology::updown::LinkDirection::Down
+                )
+            })
+            .unwrap();
+        let at = topo.link(down).dst;
+        for dest in topo.nodes() {
+            if dest == at {
+                continue;
+            }
+            out.clear();
+            r.candidates(
+                &RouteCtx {
+                    cur: at,
+                    dest,
+                    arrived_via: Some(down),
+                    in_escape: false,
+                    blocked_for: 0,
+                    sample: 0,
+                },
+                &mut out,
+            );
+            for c in &out {
+                assert!(matches!(
+                    r.tables().direction(c.link),
+                    drain_topology::updown::LinkDirection::Down
+                ));
+            }
+        }
+        let _ = NodeId(0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The top-level simulation driver.
+//!
+//! [`Sim`] sequences one cycle as: endpoints (consume/produce) → mechanism
+//! control (drain/spin/freeze decisions) → network allocation → watchdog &
+//! detector instrumentation.
+
+use crate::deadlock;
+use crate::mechanism::{ControlAction, Mechanism};
+use crate::state::SimCore;
+use crate::stats::Stats;
+use crate::traffic::Endpoints;
+use crate::SimConfig;
+use drain_topology::Topology;
+
+/// Why a bounded run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The cycle budget was exhausted.
+    BudgetExhausted,
+    /// The endpoint model reported completion.
+    WorkloadFinished,
+    /// A deadlock was observed (structural detector or watchdog) and the
+    /// run was configured to stop on deadlock.
+    Deadlocked,
+}
+
+/// A complete simulation: state + mechanism + endpoints.
+pub struct Sim {
+    core: SimCore,
+    mechanism: Box<dyn Mechanism>,
+    endpoints: Box<dyn Endpoints>,
+    stop_on_deadlock: bool,
+}
+
+impl Sim {
+    /// Assembles a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    pub fn new(
+        topo: Topology,
+        config: SimConfig,
+        routing: Box<dyn crate::routing::Routing>,
+        mechanism: Box<dyn Mechanism>,
+        endpoints: Box<dyn Endpoints>,
+    ) -> Self {
+        Sim {
+            core: SimCore::new(topo, config, routing),
+            mechanism,
+            endpoints,
+            stop_on_deadlock: false,
+        }
+    }
+
+    /// Makes [`Sim::run`] return early once a deadlock is observed.
+    pub fn stop_on_deadlock(mut self, stop: bool) -> Self {
+        self.stop_on_deadlock = stop;
+        self
+    }
+
+    /// The simulation state.
+    pub fn core(&self) -> &SimCore {
+        &self.core
+    }
+
+    /// Mutable simulation state (for scripted tests).
+    pub fn core_mut(&mut self) -> &mut SimCore {
+        &mut self.core
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.core.stats
+    }
+
+    /// The mechanism's name.
+    pub fn mechanism_name(&self) -> &str {
+        self.mechanism.name()
+    }
+
+    /// The endpoint model's name.
+    pub fn endpoints_name(&self) -> &str {
+        self.endpoints.name()
+    }
+
+    /// Downcasts the endpoint model to its concrete type (e.g. to read the
+    /// coherence engine's protocol statistics mid-run).
+    pub fn endpoints_as<T: 'static>(&self) -> Option<&T> {
+        self.endpoints.as_any().downcast_ref::<T>()
+    }
+
+    /// Opens a fresh measurement window (call after warmup).
+    pub fn open_measurement_window(&mut self) {
+        let c = self.core.cycle();
+        self.core.stats.open_window(c);
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.endpoints.pre_cycle(&mut self.core);
+        match self.mechanism.control(&mut self.core) {
+            ControlAction::Normal => self.core.allocate_and_move(),
+            ControlAction::Freeze => {}
+            ControlAction::Forced(moves, kind) => self.core.apply_forced(&moves, kind),
+        }
+        self.instrument();
+        self.core.advance_cycle();
+    }
+
+    fn instrument(&mut self) {
+        let interval = self.core.config().deadlock_check_interval;
+        let wd = self.core.config().watchdog_threshold;
+        let now = self.core.cycle();
+        if interval > 0 && now % interval == interval - 1 {
+            let report = deadlock::detect(&self.core);
+            if report.is_deadlocked() {
+                self.core.stats.deadlocks_detected += 1;
+                if self.core.stats.first_deadlock_cycle == u64::MAX {
+                    self.core.stats.first_deadlock_cycle = now;
+                }
+            }
+        }
+        if wd > 0
+            && self.core.packets_in_network() > 0
+            && now.saturating_sub(self.core.stats.last_progress_cycle) > wd
+        {
+            self.core.stats.watchdog_deadlock = true;
+            if self.core.stats.first_deadlock_cycle == u64::MAX {
+                self.core.stats.first_deadlock_cycle = now;
+            }
+        }
+    }
+
+    /// Runs for up to `cycles` cycles, honouring early-stop conditions.
+    pub fn run(&mut self, cycles: u64) -> RunOutcome {
+        let end = self.core.cycle() + cycles;
+        while self.core.cycle() < end {
+            self.step();
+            if self.stop_on_deadlock && self.core.stats.deadlocked() {
+                return RunOutcome::Deadlocked;
+            }
+            if self.endpoints.finished(&self.core) {
+                return RunOutcome::WorkloadFinished;
+            }
+        }
+        RunOutcome::BudgetExhausted
+    }
+
+    /// Warm up, open the measurement window, then measure — the standard
+    /// experiment shape. Returns the outcome of the measurement phase.
+    pub fn warmup_and_measure(&mut self, warmup: u64, measure: u64) -> RunOutcome {
+        let outcome = self.run(warmup);
+        if outcome != RunOutcome::BudgetExhausted {
+            return outcome;
+        }
+        self.open_measurement_window();
+        self.run(measure)
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("core", &self.core)
+            .field("mechanism", &self.mechanism.name())
+            .field("endpoints", &self.endpoints.name())
+            .finish()
+    }
+}

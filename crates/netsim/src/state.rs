@@ -1,0 +1,929 @@
+//! The simulator's mutable state and its allocation engine.
+//!
+//! [`SimCore`] owns everything a cycle touches: the topology, VC buffers,
+//! link timers, injection/ejection queues, the packet slab, the routing
+//! function, statistics and the RNG. The driver in [`crate::sim`] sequences
+//! endpoints → mechanism → allocation each cycle; mechanisms and endpoint
+//! models receive `&mut SimCore` and use the accessors here.
+//!
+//! Timing model (virtual cut-through, single packet per VC — Table II):
+//!
+//! * A grant at cycle `t` moves the packet's occupancy to the downstream VC
+//!   immediately; it becomes eligible for allocation there at
+//!   `t + link_latency + router_latency`.
+//! * The traversed link is busy until `t + len_flits` (serialization), and
+//!   the vacated VC can accept a new packet only from `t + len_flits`
+//!   (the tail must fully drain).
+//! * One grant per output link per cycle; one ejection per (node, class)
+//!   per cycle.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+use drain_topology::{distance::DistanceMap, LinkId, NodeId, Topology};
+
+use crate::config::SimConfig;
+use crate::mechanism::{ForcedKind, ForcedMove};
+use crate::packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
+use crate::routing::{Candidate, RouteCtx, Routing, TargetVc};
+use crate::stats::Stats;
+
+/// Reference to one VC buffer: the input port of `link`'s head router,
+/// virtual network `vn`, VC `vc` (0 = escape).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VcRef {
+    /// Input link whose buffer this is.
+    pub link: LinkId,
+    /// Virtual network index.
+    pub vn: u8,
+    /// VC index within the VN (0 = escape).
+    pub vc: u8,
+}
+
+/// State of one VC buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct VcState {
+    /// Occupying packet, if any.
+    pub occ: Option<PacketId>,
+    /// Cycle from which the occupant may be allocated onward.
+    pub ready_at: u64,
+    /// Cycle from which an empty buffer may accept a new packet.
+    pub free_at: u64,
+    /// Cycle the current occupant arrived (for timeout counters).
+    pub entered_at: u64,
+}
+
+impl Default for VcState {
+    fn default() -> Self {
+        VcState {
+            occ: None,
+            ready_at: 0,
+            free_at: 0,
+            entered_at: 0,
+        }
+    }
+}
+
+/// Outcome info for a delivered packet, handed to ejection-queue consumers.
+#[derive(Clone, Debug)]
+pub struct Delivered {
+    /// The packet, removed from the network.
+    pub packet: Packet,
+    /// Its id while it was live (now retired).
+    pub id: PacketId,
+}
+
+enum MoveSource {
+    Vc(usize),
+    Injection { node: NodeId, class: MessageClass },
+}
+
+struct LinkRequest {
+    source: MoveSource,
+    pid: PacketId,
+    target: TargetVc,
+    /// How long the requester has been waiting (age-based arbitration).
+    blocked_for: u64,
+}
+
+/// The simulator state plus allocation engine.
+pub struct SimCore {
+    topo: Topology,
+    config: SimConfig,
+    routing: Box<dyn Routing>,
+    dmap: DistanceMap,
+    /// VC buffers, link-major: `link * total_vcs + vn * vcs_per_vn + vc`.
+    vcs: Vec<VcState>,
+    /// Per unidirectional link: busy (serializing) until this cycle.
+    link_busy: Vec<u64>,
+    /// Per (node, class) injection queues.
+    inj: Vec<VecDeque<PacketId>>,
+    /// Per (node, class) ejection queues.
+    ej: Vec<VecDeque<PacketId>>,
+    /// Live packets.
+    packets: PacketSlab,
+    /// Statistics.
+    pub stats: Stats,
+    /// Current cycle.
+    cycle: u64,
+    /// Packets currently occupying VC buffers.
+    in_network: usize,
+    rng: ChaCha8Rng,
+    /// Scratch buffers reused across cycles.
+    cand_buf: Vec<Candidate>,
+    req_buf: Vec<Vec<LinkRequest>>,
+}
+
+impl SimCore {
+    /// Builds a core for `topo` with the given routing function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`SimConfig::validate`]).
+    pub fn new(topo: Topology, config: SimConfig, routing: Box<dyn Routing>) -> Self {
+        config.validate();
+        let dmap = DistanceMap::new(&topo);
+        let m = topo.num_unidirectional_links();
+        let n = topo.num_nodes();
+        let total_vcs = config.total_vcs();
+        let classes = config.num_classes;
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        SimCore {
+            vcs: vec![VcState::default(); m * total_vcs],
+            link_busy: vec![0; m],
+            inj: (0..n * classes).map(|_| VecDeque::new()).collect(),
+            ej: (0..n * classes).map(|_| VecDeque::new()).collect(),
+            packets: PacketSlab::new(),
+            stats: Stats::new(),
+            cycle: 0,
+            in_network: 0,
+            rng,
+            cand_buf: Vec::new(),
+            req_buf: (0..m).map(|_| Vec::new()).collect(),
+            dmap,
+            topo,
+            config,
+            routing,
+        }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The routing function's name.
+    pub fn routing_name(&self) -> &str {
+        self.routing.name()
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of packets currently inside VC buffers.
+    pub fn packets_in_network(&self) -> usize {
+        self.in_network
+    }
+
+    /// Number of live packets anywhere (queues + network).
+    pub fn live_packets(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Distance map used for misroute accounting and adaptive routing.
+    pub fn distance_map(&self) -> &DistanceMap {
+        &self.dmap
+    }
+
+    #[inline]
+    fn vc_index(&self, r: VcRef) -> usize {
+        r.link.index() * self.config.total_vcs()
+            + r.vn as usize * self.config.vcs_per_vn
+            + r.vc as usize
+    }
+
+    /// State of one VC buffer.
+    pub fn vc(&self, r: VcRef) -> &VcState {
+        &self.vcs[self.vc_index(r)]
+    }
+
+    /// Shared access to a live packet.
+    pub fn packet(&self, id: PacketId) -> &Packet {
+        self.packets.get(id)
+    }
+
+    /// Iterator over all VC references of the network.
+    pub fn vc_refs(&self) -> impl Iterator<Item = VcRef> + '_ {
+        let vns = self.config.vns as u8;
+        let vcs = self.config.vcs_per_vn as u8;
+        self.topo.link_ids().flat_map(move |link| {
+            (0..vns).flat_map(move |vn| (0..vcs).map(move |vc| VcRef { link, vn, vc }))
+        })
+    }
+
+    #[inline]
+    fn qidx(&self, node: NodeId, class: MessageClass) -> usize {
+        node.index() * self.config.num_classes + class.index()
+    }
+
+    /// Free slots in a node's per-class injection queue.
+    pub fn injection_space(&self, node: NodeId, class: MessageClass) -> usize {
+        self.config
+            .inj_queue_capacity
+            .saturating_sub(self.inj[self.qidx(node, class)].len())
+    }
+
+    /// Occupancy of a node's per-class injection queue.
+    pub fn injection_len(&self, node: NodeId, class: MessageClass) -> usize {
+        self.inj[self.qidx(node, class)].len()
+    }
+
+    /// Occupancy of a node's per-class ejection queue.
+    pub fn ejection_len(&self, node: NodeId, class: MessageClass) -> usize {
+        self.ej[self.qidx(node, class)].len()
+    }
+
+    /// Total packets currently parked in ejection queues (delivered but
+    /// not yet consumed by the endpoint model).
+    pub fn ejection_backlog(&self) -> usize {
+        self.ej.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether the per-class ejection queue has room for one more packet.
+    pub fn ejection_has_space(&self, node: NodeId, class: MessageClass) -> bool {
+        self.ej[self.qidx(node, class)].len() < self.config.ej_queue_capacity
+    }
+
+    /// Creates a packet in `src`'s injection queue. Returns `None` (and
+    /// creates nothing) when the queue is full or `src == dest`.
+    pub fn try_enqueue_packet(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        class: MessageClass,
+        len_flits: u32,
+        tag: u64,
+    ) -> Option<PacketId> {
+        if src == dest || self.injection_space(src, class) == 0 {
+            return None;
+        }
+        let pid = self.packets.insert(Packet {
+            src,
+            dest,
+            class,
+            len_flits,
+            birth_cycle: self.cycle,
+            inject_cycle: u64::MAX,
+            loc: Location::InjectionQueue(src),
+            hops: 0,
+            misroutes: 0,
+            forced_hops: 0,
+            tag,
+        });
+        let q = self.qidx(src, class);
+        self.inj[q].push_back(pid);
+        self.stats.generated += 1;
+        Some(pid)
+    }
+
+    /// Enqueues a packet bypassing the injection-queue capacity bound.
+    ///
+    /// For control messages whose population is bounded elsewhere (e.g.
+    /// coherence unblocks, at most one per MSHR): real designs provision
+    /// reserved slots for them so that consuming the sink class can never
+    /// block. Returns `None` only when `src == dest`.
+    pub fn force_enqueue_packet(
+        &mut self,
+        src: NodeId,
+        dest: NodeId,
+        class: MessageClass,
+        len_flits: u32,
+        tag: u64,
+    ) -> Option<PacketId> {
+        if src == dest {
+            return None;
+        }
+        let pid = self.packets.insert(Packet {
+            src,
+            dest,
+            class,
+            len_flits,
+            birth_cycle: self.cycle,
+            inject_cycle: u64::MAX,
+            loc: Location::InjectionQueue(src),
+            hops: 0,
+            misroutes: 0,
+            forced_hops: 0,
+            tag,
+        });
+        let q = self.qidx(src, class);
+        self.inj[q].push_back(pid);
+        self.stats.generated += 1;
+        Some(pid)
+    }
+
+    /// Peeks the head of a node's per-class ejection queue.
+    pub fn peek_ejection(&self, node: NodeId, class: MessageClass) -> Option<&Packet> {
+        self.ej[self.qidx(node, class)]
+            .front()
+            .map(|&pid| self.packets.get(pid))
+    }
+
+    /// Consumes the head of a node's per-class ejection queue, retiring the
+    /// packet from the network.
+    pub fn pop_ejection(&mut self, node: NodeId, class: MessageClass) -> Option<Delivered> {
+        let q = self.qidx(node, class);
+        let pid = self.ej[q].pop_front()?;
+        let packet = self.packets.remove(pid);
+        Some(Delivered { packet, id: pid })
+    }
+
+    /// Routing candidates for an explicit context (used by allocation, the
+    /// deadlock detector and SPIN probes). Results are appended to `out`.
+    pub fn route_candidates(&self, ctx: &RouteCtx, out: &mut Vec<Candidate>) {
+        self.routing.candidates(ctx, out);
+    }
+
+    /// Concrete downstream VC slots a candidate may claim, in preference
+    /// order (non-escape before escape for [`TargetVc::Any`]).
+    pub fn concrete_targets(&self, cand: Candidate, vn: u8, out: &mut Vec<VcRef>) {
+        let vcs = self.config.vcs_per_vn as u8;
+        match cand.target {
+            TargetVc::EscapeOnly => out.push(VcRef {
+                link: cand.link,
+                vn,
+                vc: 0,
+            }),
+            TargetVc::NonEscapeOnly => {
+                for vc in 1..vcs {
+                    out.push(VcRef {
+                        link: cand.link,
+                        vn,
+                        vc,
+                    });
+                }
+            }
+            TargetVc::Any => {
+                for vc in 1..vcs {
+                    out.push(VcRef {
+                        link: cand.link,
+                        vn,
+                        vc,
+                    });
+                }
+                out.push(VcRef {
+                    link: cand.link,
+                    vn,
+                    vc: 0,
+                });
+            }
+        }
+    }
+
+    /// Whether the VC buffer can accept a new packet right now.
+    #[inline]
+    pub fn vc_is_free(&self, r: VcRef) -> bool {
+        let s = &self.vcs[self.vc_index(r)];
+        s.occ.is_none() && s.free_at <= self.cycle
+    }
+
+    /// Whether the link can start a new serialization right now.
+    #[inline]
+    pub fn link_is_free(&self, l: LinkId) -> bool {
+        self.link_busy[l.index()] <= self.cycle
+    }
+
+    /// The routing context for the packet occupying `vcref` (None if the VC
+    /// is empty).
+    pub fn ctx_for_vc(&self, r: VcRef, sample: u64) -> Option<RouteCtx> {
+        let s = self.vc(r);
+        let pid = s.occ?;
+        let p = self.packets.get(pid);
+        let cur = self.topo.link(r.link).dst;
+        Some(RouteCtx {
+            cur,
+            dest: p.dest,
+            arrived_via: Some(r.link),
+            in_escape: self.config.escape_sticky && r.vc == 0,
+            blocked_for: self
+                .cycle
+                .saturating_sub(s.entered_at.max(s.ready_at)),
+            sample,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Per-cycle engine
+    // ------------------------------------------------------------------
+
+    /// Advances the cycle counter (called by the driver after all phases).
+    pub(crate) fn advance_cycle(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// Normal allocation: gathers requests, arbitrates one grant per output
+    /// link and one ejection per (node, class), and commits the moves.
+    pub(crate) fn allocate_and_move(&mut self) {
+        let now = self.cycle;
+        let vns = self.config.vns as u8;
+        let vcs = self.config.vcs_per_vn as u8;
+        // Ejection requests: (node, class) -> requesting VC indices.
+        let mut eject_reqs: Vec<(usize, usize, PacketId)> = Vec::new();
+
+        // Phase A: VC requests.
+        let num_links = self.topo.num_unidirectional_links();
+        for li in 0..num_links {
+            let link = LinkId(li as u32);
+            for vn in 0..vns {
+                for vc in 0..vcs {
+                    let r = VcRef { link, vn, vc };
+                    let idx = self.vc_index(r);
+                    let Some(pid) = self.vcs[idx].occ else {
+                        continue;
+                    };
+                    if self.vcs[idx].ready_at > now {
+                        continue;
+                    }
+                    let p = self.packets.get(pid);
+                    let here = self.topo.link(link).dst;
+                    if p.dest == here {
+                        eject_reqs.push((self.qidx(here, p.class), idx, pid));
+                        continue;
+                    }
+                    let sample = self.rng.gen::<u64>();
+                    let in_escape = self.config.escape_sticky && vc == 0;
+                    let st = &self.vcs[idx];
+                    let blocked_for = now.saturating_sub(st.entered_at.max(st.ready_at));
+                    let ctx = RouteCtx {
+                        cur: here,
+                        dest: p.dest,
+                        arrived_via: Some(link),
+                        in_escape,
+                        blocked_for,
+                        sample,
+                    };
+                    let class_vn = self.config.vn_of_class(p.class) as u8;
+                    debug_assert_eq!(class_vn, vn, "packet must sit in its class VN");
+                    // Escape VCs are a last resort: only packets blocked for
+                    // the configured patience may fall back into one
+                    // (packets already in an escape VC must continue there).
+                    let allow_escape = in_escape
+                        || self.escape_always_allowed()
+                        || blocked_for >= self.config.escape_entry_patience;
+                    self.push_first_feasible(ctx, vn, MoveSource::Vc(idx), pid, allow_escape);
+                }
+            }
+        }
+        // Phase A: injection requests (head of each per-class queue).
+        let num_nodes = self.topo.num_nodes();
+        for ni in 0..num_nodes {
+            let node = NodeId(ni as u16);
+            for class in 0..self.config.num_classes {
+                let class = MessageClass(class as u8);
+                let q = self.qidx(node, class);
+                let Some(&pid) = self.inj[q].front() else {
+                    continue;
+                };
+                let p = self.packets.get(pid);
+                let sample = self.rng.gen::<u64>();
+                // Source-queue waiting is ordinary queueing, not deadlock
+                // pressure: a waiting injection holds no network resource,
+                // so it neither deflects nor claims the escape VC (it can
+                // always keep waiting for a non-escape buffer).
+                let ctx = RouteCtx {
+                    cur: node,
+                    dest: p.dest,
+                    arrived_via: None,
+                    in_escape: false,
+                    blocked_for: 0,
+                    sample,
+                };
+                let vn = self.config.vn_of_class(class) as u8;
+                let allow_escape = self.escape_always_allowed();
+                self.push_first_feasible(
+                    ctx,
+                    vn,
+                    MoveSource::Injection { node, class },
+                    pid,
+                    allow_escape,
+                );
+            }
+        }
+
+        // Phase B: ejection grants — one per (node, class) queue with space.
+        eject_reqs.sort_unstable_by_key(|&(q, idx, _)| (q, idx));
+        let mut gi = 0;
+        while gi < eject_reqs.len() {
+            let q = eject_reqs[gi].0;
+            let mut ge = gi;
+            while ge < eject_reqs.len() && eject_reqs[ge].0 == q {
+                ge += 1;
+            }
+            let group = &eject_reqs[gi..ge];
+            // Oldest-first ejection grant.
+            let ej_len = self.ej[q].len();
+            if ej_len < self.config.ej_queue_capacity {
+                let rot = (now as usize + q) % group.len();
+                let win = (0..group.len())
+                    .max_by_key(|&i| {
+                        let st = &self.vcs[group[i].1];
+                        (
+                            now.saturating_sub(st.entered_at.max(st.ready_at)),
+                            usize::from(i == rot),
+                        )
+                    })
+                    .expect("non-empty group");
+                let (_, idx, pid) = group[win];
+                self.commit_eject(idx, pid);
+            }
+            gi = ge;
+        }
+
+        // Phase B: link grants — one per output link, oldest requester
+        // first (age-based arbitration bounds worst-case blocking, as in
+        // real NoC allocators); rotation breaks ties.
+        for li in 0..self.req_buf.len() {
+            if self.req_buf[li].is_empty() {
+                continue;
+            }
+            let reqs = std::mem::take(&mut self.req_buf[li]);
+            let rot = (now as usize + li) % reqs.len();
+            let win = (0..reqs.len())
+                .max_by_key(|&i| (reqs[i].blocked_for, usize::from(i == rot)))
+                .expect("non-empty request list");
+            let req = &reqs[win];
+            self.commit_move(req, LinkId(li as u32));
+            let mut reqs = reqs;
+            reqs.clear();
+            self.req_buf[li] = reqs;
+        }
+    }
+
+    /// Whether escape-VC entry needs no patience: non-sticky configs have
+    /// no escape distinction, and single-VC VNs have nothing else to use.
+    #[inline]
+    fn escape_always_allowed(&self) -> bool {
+        !self.config.escape_sticky
+            || self.config.vcs_per_vn == 1
+            || self.config.escape_entry_patience == 0
+    }
+
+    /// Finds the first candidate with a free link and free target VC and
+    /// registers a request on that link. `allow_escape` gates fallback
+    /// into escape VCs (entry patience).
+    fn push_first_feasible(
+        &mut self,
+        ctx: RouteCtx,
+        vn: u8,
+        source: MoveSource,
+        pid: PacketId,
+        allow_escape: bool,
+    ) {
+        self.cand_buf.clear();
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        self.routing.candidates(&ctx, &mut cands);
+        let mut chosen: Option<(LinkId, TargetVc)> = None;
+        for cand in &cands {
+            let target = match (cand.target, allow_escape) {
+                (TargetVc::Any, false) => TargetVc::NonEscapeOnly,
+                (TargetVc::EscapeOnly, false) => continue,
+                (t, _) => t,
+            };
+            if !self.link_is_free(cand.link) {
+                continue;
+            }
+            let downgraded = Candidate {
+                link: cand.link,
+                target,
+            };
+            if self.resolve_target_vc(downgraded, vn).is_some() {
+                chosen = Some((cand.link, target));
+                break;
+            }
+        }
+        self.cand_buf = cands;
+        if let Some((link, target)) = chosen {
+            self.req_buf[link.index()].push(LinkRequest {
+                source,
+                pid,
+                target,
+                blocked_for: ctx.blocked_for,
+            });
+        }
+    }
+
+    /// Resolves a target kind to the first currently free concrete VC.
+    fn resolve_target_vc(&self, cand: Candidate, vn: u8) -> Option<VcRef> {
+        let vcs = self.config.vcs_per_vn as u8;
+        let try_vc = |vc: u8| -> Option<VcRef> {
+            let r = VcRef {
+                link: cand.link,
+                vn,
+                vc,
+            };
+            self.vc_is_free(r).then_some(r)
+        };
+        match cand.target {
+            TargetVc::EscapeOnly => try_vc(0),
+            TargetVc::NonEscapeOnly => (1..vcs).find_map(try_vc),
+            TargetVc::Any => (1..vcs).find_map(try_vc).or_else(|| try_vc(0)),
+        }
+    }
+
+    fn commit_move(&mut self, req: &LinkRequest, out_link: LinkId) {
+        let now = self.cycle;
+        let p_len;
+        let from_node;
+        // Free the source.
+        match req.source {
+            MoveSource::Vc(idx) => {
+                let len = self.packets.get(req.pid).len_flits as u64;
+                let s = &mut self.vcs[idx];
+                debug_assert_eq!(s.occ, Some(req.pid));
+                s.occ = None;
+                s.free_at = now + len;
+                self.in_network -= 1;
+            }
+            MoveSource::Injection { node, class } => {
+                let q = self.qidx(node, class);
+                let popped = self.inj[q].pop_front();
+                debug_assert_eq!(popped, Some(req.pid));
+                let p = self.packets.get_mut(req.pid);
+                p.inject_cycle = now;
+                self.stats.injected += 1;
+            }
+        }
+        {
+            let p = self.packets.get(req.pid);
+            p_len = p.len_flits as u64;
+            from_node = match req.source {
+                MoveSource::Vc(_) | MoveSource::Injection { .. } => {
+                    self.topo.link(out_link).src
+                }
+            };
+        }
+        // Occupy the target VC.
+        let vn = {
+            let p = self.packets.get(req.pid);
+            self.config.vn_of_class(p.class) as u8
+        };
+        let cand = Candidate {
+            link: out_link,
+            target: req.target,
+        };
+        let target = self
+            .resolve_target_vc(cand, vn)
+            .expect("target was free at request time and only one grant per link");
+        let tidx = self.vc_index(target);
+        let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
+        let slot = &mut self.vcs[tidx];
+        slot.occ = Some(req.pid);
+        slot.ready_at = arrive;
+        slot.entered_at = now;
+        self.in_network += 1;
+        self.link_busy[out_link.index()] = now + p_len;
+        // Packet bookkeeping.
+        let to_node = self.topo.link(out_link).dst;
+        let (old_d, new_d) = {
+            let p = self.packets.get(req.pid);
+            (
+                self.dmap.distance(from_node, p.dest),
+                self.dmap.distance(to_node, p.dest),
+            )
+        };
+        let p = self.packets.get_mut(req.pid);
+        p.loc = Location::Vc {
+            link: out_link,
+            vn: target.vn,
+            vc: target.vc,
+        };
+        p.hops += 1;
+        if new_d >= old_d {
+            p.misroutes += 1;
+            self.stats.misroutes += 1;
+        }
+        self.stats.hops += 1;
+        self.stats.flit_hops += p_len;
+        self.stats.last_progress_cycle = now;
+    }
+
+    fn commit_eject(&mut self, vc_idx: usize, pid: PacketId) {
+        let now = self.cycle;
+        let len = self.packets.get(pid).len_flits as u64;
+        let s = &mut self.vcs[vc_idx];
+        debug_assert_eq!(s.occ, Some(pid));
+        s.occ = None;
+        s.free_at = now + len;
+        self.in_network -= 1;
+        self.finish_delivery(pid, false);
+    }
+
+    /// Records delivery stats and parks the packet in its destination's
+    /// ejection queue.
+    fn finish_delivery(&mut self, pid: PacketId, via_drain: bool) {
+        let now = self.cycle;
+        let (dest, class, len, inject, birth) = {
+            let p = self.packets.get(pid);
+            (p.dest, p.class, p.len_flits as u64, p.inject_cycle, p.birth_cycle)
+        };
+        let q = self.qidx(dest, class);
+        debug_assert!(self.ej[q].len() < self.config.ej_queue_capacity || via_drain);
+        self.ej[q].push_back(pid);
+        self.packets.get_mut(pid).loc = Location::EjectionQueue(dest);
+        let net = now.saturating_sub(inject) + len;
+        let total = now.saturating_sub(birth) + len;
+        self.stats.net_latency.record(net);
+        self.stats.total_latency.record(total);
+        self.stats.ejected += 1;
+        self.stats.window_ejected += 1;
+        self.stats.last_progress_cycle = now;
+    }
+
+    /// Applies an atomic set of forced one-hop movements (a drain step or a
+    /// spin). Movements form a partial permutation: sources are distinct,
+    /// targets are distinct, and a target may coincide with another move's
+    /// source (the classic cyclic shift).
+    ///
+    /// A moved packet that arrives at its destination router ejects
+    /// immediately if its ejection queue has space (paper §III-C2).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the set is not a valid permutation or a
+    /// source VC is empty.
+    pub(crate) fn apply_forced(&mut self, moves: &[ForcedMove], kind: ForcedKind) {
+        let now = self.cycle;
+        // Validate + snapshot.
+        let mut staged: Vec<(PacketId, VcRef)> = Vec::with_capacity(moves.len());
+        for m in moves {
+            let fidx = self.vc_index(m.from);
+            let pid = self.vcs[fidx]
+                .occ
+                .expect("forced move from an empty VC");
+            debug_assert_eq!(
+                self.topo.link(m.from.link).dst,
+                self.topo.link(m.to.link).src,
+                "forced move must pivot at the from-link's head router"
+            );
+            staged.push((pid, m.to));
+        }
+        if cfg!(debug_assertions) {
+            let mut froms: Vec<usize> = moves.iter().map(|m| self.vc_index(m.from)).collect();
+            froms.sort_unstable();
+            froms.dedup();
+            assert_eq!(froms.len(), moves.len(), "duplicate forced-move source");
+            let mut tos: Vec<usize> = moves.iter().map(|m| self.vc_index(m.to)).collect();
+            tos.sort_unstable();
+            tos.dedup();
+            assert_eq!(tos.len(), moves.len(), "duplicate forced-move target");
+        }
+        // Clear all sources first (atomic permutation semantics).
+        for m in moves {
+            let fidx = self.vc_index(m.from);
+            let len = self.vcs[fidx]
+                .occ
+                .map(|pid| self.packets.get(pid).len_flits as u64)
+                .unwrap_or(0);
+            let s = &mut self.vcs[fidx];
+            s.occ = None;
+            s.free_at = now + len;
+            self.in_network -= 1;
+        }
+        // Fill targets / eject.
+        let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
+        for (pid, to) in staged {
+            let p_len = self.packets.get(pid).len_flits as u64;
+            let from_node = self.topo.link(to.link).src;
+            let to_node = self.topo.link(to.link).dst;
+            self.link_busy[to.link.index()] = now + p_len;
+            self.stats.flit_hops += p_len;
+            let (dest, class, old_d, new_d) = {
+                let p = self.packets.get(pid);
+                (
+                    p.dest,
+                    p.class,
+                    self.dmap.distance(from_node, p.dest),
+                    self.dmap.distance(to_node, p.dest),
+                )
+            };
+            {
+                let p = self.packets.get_mut(pid);
+                p.hops += 1;
+                p.forced_hops += 1;
+                if new_d >= old_d {
+                    p.misroutes += 1;
+                }
+            }
+            self.stats.hops += 1;
+            self.stats.forced_hops += 1;
+            if new_d >= old_d {
+                self.stats.misroutes += 1;
+            }
+            if dest == to_node && self.ejection_has_space(to_node, class) {
+                self.finish_delivery(pid, true);
+                continue;
+            }
+            let tidx = self.vc_index(to);
+            debug_assert!(
+                self.vcs[tidx].occ.is_none(),
+                "forced-move target still occupied after clearing sources"
+            );
+            let slot = &mut self.vcs[tidx];
+            slot.occ = Some(pid);
+            slot.ready_at = arrive;
+            slot.entered_at = now;
+            self.in_network += 1;
+            self.packets.get_mut(pid).loc = Location::Vc {
+                link: to.link,
+                vn: to.vn,
+                vc: to.vc,
+            };
+        }
+        match kind {
+            ForcedKind::Drain => self.stats.drains += 1,
+            ForcedKind::FullDrain => self.stats.full_drains += 1,
+            ForcedKind::Spin => self.stats.spins += 1,
+        }
+        if !moves.is_empty() {
+            self.stats.last_progress_cycle = now;
+        }
+    }
+
+    /// Places a freshly created packet directly into a VC buffer —
+    /// scripted scenarios only (walk-throughs, adversarial tests). The
+    /// packet is counted as generated and injected at the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is occupied or `vn` does not match the class's
+    /// virtual network.
+    pub fn place_packet(
+        &mut self,
+        r: VcRef,
+        src: NodeId,
+        dest: NodeId,
+        class: MessageClass,
+        len_flits: u32,
+    ) -> PacketId {
+        assert_eq!(
+            self.config.vn_of_class(class) as u8,
+            r.vn,
+            "packet class must match the VC's virtual network"
+        );
+        let idx = self.vc_index(r);
+        assert!(self.vcs[idx].occ.is_none(), "VC {r:?} is occupied");
+        let pid = self.packets.insert(Packet {
+            src,
+            dest,
+            class,
+            len_flits,
+            birth_cycle: self.cycle,
+            inject_cycle: self.cycle,
+            loc: Location::Vc {
+                link: r.link,
+                vn: r.vn,
+                vc: r.vc,
+            },
+            hops: 0,
+            misroutes: 0,
+            forced_hops: 0,
+            tag: 0,
+        });
+        self.vcs[idx].occ = Some(pid);
+        self.vcs[idx].ready_at = self.cycle;
+        self.vcs[idx].entered_at = self.cycle;
+        self.in_network += 1;
+        self.stats.generated += 1;
+        self.stats.injected += 1;
+        pid
+    }
+
+    /// Snapshot of `(VcRef, PacketId)` for every occupied VC (diagnostics
+    /// and walk-throughs).
+    pub fn occupied_vcs(&self) -> Vec<(VcRef, PacketId)> {
+        self.vc_refs()
+            .filter_map(|r| self.vc(r).occ.map(|p| (r, p)))
+            .collect()
+    }
+
+    /// Oracle delivery: teleports the packet in `r` straight into its
+    /// destination's ejection queue (zero cost). Used by the ideal
+    /// deadlock-free reference (Fig 5) — never by a real mechanism.
+    pub fn oracle_deliver(&mut self, r: VcRef) {
+        let idx = self.vc_index(r);
+        let Some(pid) = self.vcs[idx].occ else {
+            return;
+        };
+        self.vcs[idx].occ = None;
+        self.vcs[idx].free_at = self.cycle;
+        self.in_network -= 1;
+        self.stats.oracle_resolutions += 1;
+        self.finish_delivery(pid, true);
+    }
+
+    /// Direct RNG access for endpoint models that want the core's seeded
+    /// stream.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+impl std::fmt::Debug for SimCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCore")
+            .field("topology", &self.topo.name())
+            .field("cycle", &self.cycle)
+            .field("in_network", &self.in_network)
+            .field("live_packets", &self.packets.len())
+            .field("routing", &self.routing.name())
+            .finish()
+    }
+}

@@ -1,0 +1,246 @@
+//! Simulation statistics: latency (mean and tails), throughput, mechanism
+//! event counters.
+
+/// Bucketed latency histogram: exact up to `EXACT` cycles, then power-of-two
+/// buckets — enough resolution for the paper's mean and 99th-percentile
+/// latency plots.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    exact: Vec<u64>,
+    coarse: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+const EXACT: usize = 2048;
+const COARSE_BUCKETS: usize = 32;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            exact: vec![0; EXACT],
+            coarse: vec![0; COARSE_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency;
+        self.max = self.max.max(latency);
+        if (latency as usize) < EXACT {
+            self.exact[latency as usize] += 1;
+        } else {
+            let b = (64 - latency.leading_zeros() as usize).min(COARSE_BUCKETS - 1);
+            self.coarse[b] += 1;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `p`-quantile (`p` in `[0, 1]`): exact below 2048 cycles,
+    /// bucket upper bound above.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil() as u64;
+        let mut acc = 0u64;
+        for (lat, &n) in self.exact.iter().enumerate() {
+            acc += n;
+            if acc >= target {
+                return lat as u64;
+            }
+        }
+        for (b, &n) in self.coarse.iter().enumerate() {
+            acc += n;
+            if acc >= target {
+                return 1u64 << b;
+            }
+        }
+        self.max
+    }
+
+    /// 99th-percentile latency (paper Fig 15).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.exact.iter_mut().for_each(|x| *x = 0);
+        self.coarse.iter_mut().for_each(|x| *x = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+/// Aggregated statistics for one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Packets created by endpoints.
+    pub generated: u64,
+    /// Packets that entered the network (won injection allocation).
+    pub injected: u64,
+    /// Packets delivered to an ejection queue.
+    pub ejected: u64,
+    /// Network latency histogram (injection → ejection, tail-inclusive).
+    pub net_latency: LatencyHistogram,
+    /// Total latency histogram (creation → ejection, includes source
+    /// queueing).
+    pub total_latency: LatencyHistogram,
+    /// Sum of hops over ejected packets.
+    pub hops: u64,
+    /// Hops that did not reduce distance to the destination.
+    pub misroutes: u64,
+    /// Hops forced by drains or spins.
+    pub forced_hops: u64,
+    /// Flit-link traversals (for dynamic power).
+    pub flit_hops: u64,
+    /// Drain windows executed.
+    pub drains: u64,
+    /// Full drains executed.
+    pub full_drains: u64,
+    /// Spin moves executed (SPIN baseline).
+    pub spins: u64,
+    /// Probe messages hops sent (SPIN baseline).
+    pub probe_hops: u64,
+    /// Structural deadlocks detected by the oracle.
+    pub deadlocks_detected: u64,
+    /// First cycle a deadlock was detected at (`u64::MAX` = never).
+    pub first_deadlock_cycle: u64,
+    /// Deadlocks resolved by the ideal oracle mechanism.
+    pub oracle_resolutions: u64,
+    /// Cycle of the last packet movement (watchdog input).
+    pub last_progress_cycle: u64,
+    /// Whether the watchdog tripped.
+    pub watchdog_deadlock: bool,
+    /// Measurement-window bookkeeping for throughput.
+    pub window_start_cycle: u64,
+    /// Packets ejected since the measurement window opened.
+    pub window_ejected: u64,
+}
+
+impl Stats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Stats {
+            first_deadlock_cycle: u64::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Opens a measurement window at `cycle`: latency histograms and the
+    /// window ejection counter restart, cumulative counters are kept.
+    pub fn open_window(&mut self, cycle: u64) {
+        self.window_start_cycle = cycle;
+        self.window_ejected = 0;
+        self.net_latency.reset();
+        self.total_latency.reset();
+    }
+
+    /// Received throughput in packets/node/cycle over the open window.
+    pub fn throughput(&self, now: u64, num_nodes: usize) -> f64 {
+        let cycles = now.saturating_sub(self.window_start_cycle);
+        if cycles == 0 || num_nodes == 0 {
+            return 0.0;
+        }
+        self.window_ejected as f64 / cycles as f64 / num_nodes as f64
+    }
+
+    /// Average hops per ejected packet.
+    pub fn avg_hops(&self) -> f64 {
+        if self.ejected == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.ejected as f64
+        }
+    }
+
+    /// Whether any deadlock was observed (oracle or watchdog).
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocks_detected > 0 || self.watchdog_deadlock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for lat in 1..=100u64 {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn histogram_coarse_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(10_000);
+        h.record(5);
+        assert_eq!(h.count(), 2);
+        assert!(h.p99() >= 8192, "large sample lands in a coarse bucket");
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn histogram_reset() {
+        let mut h = LatencyHistogram::new();
+        h.record(7);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn throughput_window() {
+        let mut s = Stats::new();
+        s.open_window(100);
+        s.window_ejected = 640;
+        assert!((s.throughput(200, 64) - 0.1).abs() < 1e-12);
+        assert_eq!(s.throughput(100, 64), 0.0);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

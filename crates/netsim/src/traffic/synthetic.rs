@@ -1,0 +1,238 @@
+//! Open-loop synthetic traffic patterns.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use drain_topology::{NodeId, Topology};
+
+use super::Endpoints;
+use crate::packet::MessageClass;
+use crate::state::SimCore;
+
+/// Destination-selection pattern for synthetic traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyntheticPattern {
+    /// Uniformly random destination (≠ source).
+    UniformRandom,
+    /// Matrix transpose: `(x, y) → (y, x)` on square meshes; falls back to
+    /// id reversal on other topologies.
+    Transpose,
+    /// `dest = src XOR (N-1)` when the node count is a power of two, else
+    /// `N-1-src`.
+    BitComplement,
+    /// Perfect shuffle: rotate the id's bits left by one.
+    Shuffle,
+    /// All nodes send to the given hotspot set (round-robin by sample).
+    Hotspot(Vec<NodeId>),
+    /// Send to the next node id (nearest-neighbor pressure).
+    Neighbor,
+}
+
+impl SyntheticPattern {
+    /// Destination for a packet from `src`, or `None` if the pattern maps
+    /// the node to itself.
+    pub fn dest(&self, topo: &Topology, src: NodeId, rng: &mut impl Rng) -> Option<NodeId> {
+        let n = topo.num_nodes() as u16;
+        let d = match self {
+            SyntheticPattern::UniformRandom => {
+                if n < 2 {
+                    return None;
+                }
+                let mut d = NodeId(rng.gen_range(0..n));
+                while d == src {
+                    d = NodeId(rng.gen_range(0..n));
+                }
+                d
+            }
+            SyntheticPattern::Transpose => match (topo.coord(src), topo.mesh_dims()) {
+                (Some((x, y)), Some((w, h))) if w == h => NodeId(x * w + y),
+                _ => NodeId(n - 1 - src.0),
+            },
+            SyntheticPattern::BitComplement => {
+                if n.is_power_of_two() {
+                    NodeId(src.0 ^ (n - 1))
+                } else {
+                    NodeId(n - 1 - src.0)
+                }
+            }
+            SyntheticPattern::Shuffle => {
+                if n.is_power_of_two() && n > 1 {
+                    let bits = n.trailing_zeros();
+                    let v = src.0;
+                    NodeId(((v << 1) | (v >> (bits - 1))) & (n - 1))
+                } else {
+                    NodeId((src.0 + 1) % n)
+                }
+            }
+            SyntheticPattern::Hotspot(targets) => {
+                if targets.is_empty() {
+                    return None;
+                }
+                targets[rng.gen_range(0..targets.len())]
+            }
+            SyntheticPattern::Neighbor => NodeId((src.0 + 1) % n),
+        };
+        (d != src).then_some(d)
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyntheticPattern::UniformRandom => "uniform",
+            SyntheticPattern::Transpose => "transpose",
+            SyntheticPattern::BitComplement => "bitcomp",
+            SyntheticPattern::Shuffle => "shuffle",
+            SyntheticPattern::Hotspot(_) => "hotspot",
+            SyntheticPattern::Neighbor => "neighbor",
+        }
+    }
+}
+
+/// Open-loop Bernoulli injection: each node creates a packet with
+/// probability `rate` per cycle; ejection queues are consumed immediately.
+#[derive(Clone, Debug)]
+pub struct SyntheticTraffic {
+    pattern: SyntheticPattern,
+    rate: f64,
+    len_flits: u32,
+    rng: ChaCha8Rng,
+    /// Injection stops after this cycle (drain-out phase); `u64::MAX` =
+    /// never.
+    stop_at: u64,
+}
+
+impl SyntheticTraffic {
+    /// Creates a traffic source with per-node injection probability `rate`
+    /// and fixed packet length.
+    pub fn new(pattern: SyntheticPattern, rate: f64, len_flits: u32, seed: u64) -> Self {
+        SyntheticTraffic {
+            pattern,
+            rate,
+            len_flits,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            stop_at: u64::MAX,
+        }
+    }
+
+    /// Stops creating new packets after `cycle` (lets the network drain for
+    /// delivered-packet accounting).
+    pub fn stop_injection_at(mut self, cycle: u64) -> Self {
+        self.stop_at = cycle;
+        self
+    }
+
+    /// The configured injection rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Endpoints for SyntheticTraffic {
+    fn name(&self) -> &str {
+        self.pattern.name()
+    }
+
+    fn pre_cycle(&mut self, core: &mut SimCore) {
+        // Consume everything delivered.
+        let classes = core.config().num_classes;
+        let n = core.topology().num_nodes();
+        for ni in 0..n {
+            let node = NodeId(ni as u16);
+            for c in 0..classes {
+                while core.pop_ejection(node, MessageClass(c as u8)).is_some() {}
+            }
+        }
+        if core.cycle() >= self.stop_at {
+            return;
+        }
+        // Bernoulli injection per node.
+        for ni in 0..n {
+            let node = NodeId(ni as u16);
+            if self.rng.gen::<f64>() >= self.rate {
+                continue;
+            }
+            if let Some(dest) = self.pattern.dest(core.topology(), node, &mut self.rng) {
+                core.try_enqueue_packet(node, dest, MessageClass::REQUEST, self.len_flits, 0);
+            }
+        }
+    }
+
+    fn finished(&self, core: &SimCore) -> bool {
+        core.cycle() >= self.stop_at && core.live_packets() == 0
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_on_square_mesh() {
+        let t = Topology::mesh(4, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // (1, 2) = node 9 → (2, 1) = node 6.
+        assert_eq!(
+            SyntheticPattern::Transpose.dest(&t, NodeId(9), &mut rng),
+            Some(NodeId(6))
+        );
+        // Diagonal maps to itself → None.
+        assert_eq!(SyntheticPattern::Transpose.dest(&t, NodeId(5), &mut rng), None);
+    }
+
+    #[test]
+    fn bitcomp_power_of_two() {
+        let t = Topology::mesh(4, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            SyntheticPattern::BitComplement.dest(&t, NodeId(0), &mut rng),
+            Some(NodeId(15))
+        );
+        assert_eq!(
+            SyntheticPattern::BitComplement.dest(&t, NodeId(5), &mut rng),
+            Some(NodeId(10))
+        );
+    }
+
+    #[test]
+    fn uniform_never_self() {
+        let t = Topology::mesh(3, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = SyntheticPattern::UniformRandom
+                .dest(&t, NodeId(4), &mut rng)
+                .unwrap();
+            assert_ne!(d, NodeId(4));
+        }
+    }
+
+    #[test]
+    fn shuffle_rotates_bits() {
+        let t = Topology::mesh(4, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // 0b0101 (5) -> 0b1010 (10)
+        assert_eq!(
+            SyntheticPattern::Shuffle.dest(&t, NodeId(5), &mut rng),
+            Some(NodeId(10))
+        );
+        // 0b1000 (8) -> 0b0001 (1)
+        assert_eq!(
+            SyntheticPattern::Shuffle.dest(&t, NodeId(8), &mut rng),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn hotspot_targets_only() {
+        let t = Topology::mesh(3, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let pat = SyntheticPattern::Hotspot(vec![NodeId(0), NodeId(8)]);
+        for _ in 0..50 {
+            let d = pat.dest(&t, NodeId(4), &mut rng).unwrap();
+            assert!(d == NodeId(0) || d == NodeId(8));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Composed (chiplet) and random topologies.
+//!
+//! §VI of the paper motivates DRAIN for heterogeneous chiplet-based systems
+//! — independently designed networks joined through an interposer — and for
+//! random topologies, both of which are hard to make deadlock-free with turn
+//! restrictions. These builders produce such topologies for the
+//! corresponding example and tests.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Topology, TopologyError};
+
+/// A chiplet to be composed into a larger system.
+#[derive(Clone, Debug)]
+pub struct Chiplet {
+    /// The chiplet's internal network.
+    pub topology: Topology,
+    /// Local node ids that expose an interposer connection.
+    pub boundary: Vec<u16>,
+}
+
+impl Chiplet {
+    /// Wraps a topology, exposing the given local nodes as boundary ports.
+    pub fn new(topology: Topology, boundary: Vec<u16>) -> Self {
+        Chiplet { topology, boundary }
+    }
+}
+
+/// Composes chiplets into one network by wiring boundary nodes in a ring
+/// through the "interposer": boundary node `i` of chiplet `k` connects to
+/// boundary node `i` of chiplet `k+1` (wrapping), for each shared index.
+///
+/// The result is connected iff each chiplet is connected and every chiplet
+/// exposes at least one boundary node.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::Empty`] when `chiplets` is empty, or propagates
+/// edge errors (e.g. a boundary index out of range).
+///
+/// # Examples
+///
+/// ```
+/// use drain_topology::{Topology, chiplet::{Chiplet, compose}};
+///
+/// let a = Chiplet::new(Topology::mesh(2, 2), vec![1, 3]);
+/// let b = Chiplet::new(Topology::ring(5), vec![0, 2]);
+/// let sys = compose("sys", &[a, b])?;
+/// assert_eq!(sys.num_nodes(), 9);
+/// assert!(sys.is_connected());
+/// # Ok::<(), drain_topology::TopologyError>(())
+/// ```
+pub fn compose(name: &str, chiplets: &[Chiplet]) -> Result<Topology, TopologyError> {
+    if chiplets.is_empty() {
+        return Err(TopologyError::Empty);
+    }
+    let mut offsets = Vec::with_capacity(chiplets.len());
+    let mut total = 0u16;
+    for c in chiplets {
+        offsets.push(total);
+        total = total
+            .checked_add(c.topology.num_nodes() as u16)
+            .expect("composed system too large");
+    }
+    let mut edges = Vec::new();
+    for (k, c) in chiplets.iter().enumerate() {
+        let off = offsets[k];
+        for (a, b) in c.topology.edge_list() {
+            edges.push((off + a, off + b));
+        }
+        if chiplets.len() > 1 {
+            let next = (k + 1) % chiplets.len();
+            let noff = offsets[next];
+            let pairs = c.boundary.len().min(chiplets[next].boundary.len());
+            for i in 0..pairs {
+                let a = off + c.boundary[i];
+                let b = noff + chiplets[next].boundary[i];
+                // Avoid duplicate edges in 2-chiplet rings (k->next and
+                // next->k would wire the same pair twice).
+                if chiplets.len() == 2 && k == 1 {
+                    break;
+                }
+                edges.push((a, b));
+            }
+        }
+    }
+    Topology::from_edges(name, total as usize, &edges)
+}
+
+/// Builds a random connected graph with `n` nodes where every node has
+/// degree at least 2 and roughly `avg_degree` on average — in the spirit of
+/// the random/small-world NoC topologies (§VI) the paper cites.
+///
+/// Construction: a random spanning tree (guaranteeing connectivity), then
+/// random extra edges until the target edge count is reached.
+///
+/// # Panics
+///
+/// Panics if `n < 4` or `avg_degree < 2.0`.
+pub fn random_connected(n: u16, avg_degree: f64, seed: u64) -> Topology {
+    assert!(n >= 4, "random topology needs at least 4 nodes");
+    assert!(avg_degree >= 2.0, "average degree must be at least 2");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut order: Vec<u16> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut edges: Vec<(u16, u16)> = Vec::new();
+    let mut present = std::collections::HashSet::new();
+    // Random spanning tree: attach each node to a random earlier node.
+    for i in 1..n as usize {
+        let j = rng.gen_range(0..i);
+        let (a, b) = (order[i], order[j]);
+        present.insert((a.min(b), a.max(b)));
+        edges.push((a, b));
+    }
+    let target_edges = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let max_edges = (n as usize * (n as usize - 1)) / 2;
+    let target_edges = target_edges.min(max_edges);
+    let mut guard = 0;
+    while edges.len() < target_edges && guard < 100_000 {
+        guard += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if present.insert(key) {
+            edges.push((a, b));
+        }
+    }
+    Topology::from_edges(format!("rand{n}d{avg_degree}s{seed}"), n as usize, &edges)
+        .expect("random edges are valid")
+}
+
+/// The paper's Fig 8 walk-through topology: a 3×3 mesh with the link
+/// between routers 2 and 5 faulty.
+pub fn fig8_topology() -> Topology {
+    let mesh = Topology::mesh(3, 3);
+    let l = mesh
+        .link_between(crate::NodeId(2), crate::NodeId(5))
+        .expect("3x3 mesh has link 2-5");
+    let mut t = mesh.without_link(l).expect("not a bridge");
+    t.set_name("fig8");
+    t
+}
+
+/// Builds a small heterogeneous multi-chiplet system (two meshes of
+/// different sizes plus a ring accelerator fabric) used by the chiplet
+/// example and tests.
+pub fn demo_heterogeneous_system(seed: u64) -> Topology {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let boundary_of_mesh = |w: u16, h: u16, rng: &mut ChaCha8Rng| {
+        // Two random boundary-row nodes.
+        let a = rng.gen_range(0..w);
+        let b = rng.gen_range(0..w) + w * (h - 1);
+        vec![a, b]
+    };
+    let m1 = Topology::mesh(4, 4);
+    let m2 = Topology::mesh(3, 3);
+    let ring = Topology::ring(6);
+    let chiplets = vec![
+        Chiplet::new(m1, boundary_of_mesh(4, 4, &mut rng)),
+        Chiplet::new(m2, boundary_of_mesh(3, 3, &mut rng)),
+        Chiplet::new(ring, vec![0, 3]),
+    ];
+    let mut t = compose("hetero-demo", &chiplets).expect("valid composition");
+    t.set_name("hetero-demo");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn compose_two_meshes() {
+        let a = Chiplet::new(Topology::mesh(3, 3), vec![2, 8]);
+        let b = Chiplet::new(Topology::mesh(2, 2), vec![0, 1]);
+        let sys = compose("ab", &[a, b]).unwrap();
+        assert_eq!(sys.num_nodes(), 13);
+        assert!(sys.is_connected());
+        // Interposer links exist.
+        assert!(sys.link_between(NodeId(2), NodeId(9)).is_some());
+    }
+
+    #[test]
+    fn compose_empty_fails() {
+        assert_eq!(compose("x", &[]).unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn random_is_connected_and_min_degree() {
+        for seed in 0..10 {
+            let t = random_connected(32, 3.0, seed);
+            assert!(t.is_connected());
+            assert_eq!(t.num_nodes(), 32);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = random_connected(24, 3.0, 5);
+        let b = random_connected(24, 3.0, 5);
+        assert_eq!(a.edge_list(), b.edge_list());
+    }
+
+    #[test]
+    fn fig8_matches_paper() {
+        let t = fig8_topology();
+        assert_eq!(t.num_nodes(), 9);
+        assert!(t.link_between(NodeId(2), NodeId(5)).is_none());
+        assert!(t.link_between(NodeId(1), NodeId(2)).is_some());
+        assert!(t.is_connected());
+        assert_eq!(t.num_bidirectional_links(), 11);
+    }
+
+    #[test]
+    fn hetero_demo_is_connected() {
+        let t = demo_heterogeneous_system(0);
+        assert!(t.is_connected());
+        assert_eq!(t.num_nodes(), 16 + 9 + 6);
+    }
+}

@@ -1,0 +1,214 @@
+//! All-pairs shortest-path machinery for minimal adaptive routing.
+//!
+//! The simulator's fully-adaptive router consults a [`DistanceMap`] to find
+//! the set of *productive* output links (those on some minimal path to the
+//! destination). Distances are hop counts from BFS over the unidirectional
+//! link graph, recomputed whenever the topology changes (fault events).
+
+use std::collections::VecDeque;
+
+use crate::{LinkId, NodeId, Topology};
+
+/// Dense all-pairs hop-count table plus per-(node, dest) productive-link
+/// sets.
+///
+/// # Examples
+///
+/// ```
+/// use drain_topology::{Topology, NodeId, distance::DistanceMap};
+///
+/// let t = Topology::mesh(4, 4);
+/// let d = DistanceMap::new(&t);
+/// assert_eq!(d.distance(NodeId(0), NodeId(15)), 6);
+/// assert_eq!(d.diameter(), 6);
+/// // From a corner toward the opposite corner, both mesh directions are
+/// // productive.
+/// assert_eq!(d.productive_links(NodeId(0), NodeId(15)).len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistanceMap {
+    num_nodes: usize,
+    /// `dist[src * n + dst]`, `u16::MAX` = unreachable.
+    dist: Vec<u16>,
+    /// `productive[cur * n + dst]` = outgoing links on a minimal path.
+    productive: Vec<Vec<LinkId>>,
+    diameter: u16,
+    avg_distance: f64,
+}
+
+impl DistanceMap {
+    /// Computes BFS distances and productive-link sets for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        let mut dist = vec![u16::MAX; n * n];
+        // BFS from every destination over reversed edges gives
+        // dist(x, dest) for all x in one pass.
+        for dest in topo.nodes() {
+            let base = |x: usize| x * n + dest.index();
+            dist[base(dest.index())] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(dest);
+            while let Some(v) = q.pop_front() {
+                let dv = dist[base(v.index())];
+                for &l in topo.in_links(v) {
+                    let u = topo.link(l).src;
+                    if dist[base(u.index())] == u16::MAX {
+                        dist[base(u.index())] = dv + 1;
+                        q.push_back(u);
+                    }
+                }
+            }
+        }
+        let mut productive = vec![Vec::new(); n * n];
+        for cur in topo.nodes() {
+            for dest in topo.nodes() {
+                if cur == dest {
+                    continue;
+                }
+                let d = dist[cur.index() * n + dest.index()];
+                if d == u16::MAX {
+                    continue;
+                }
+                let links = topo
+                    .out_links(cur)
+                    .iter()
+                    .copied()
+                    .filter(|&l| {
+                        let next = topo.link(l).dst;
+                        dist[next.index() * n + dest.index()] == d - 1
+                    })
+                    .collect();
+                productive[cur.index() * n + dest.index()] = links;
+            }
+        }
+        let mut diameter = 0u16;
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let d = dist[s * n + t];
+                if d != u16::MAX {
+                    diameter = diameter.max(d);
+                    sum += d as u64;
+                    pairs += 1;
+                }
+            }
+        }
+        DistanceMap {
+            num_nodes: n,
+            dist,
+            productive,
+            diameter,
+            avg_distance: if pairs == 0 {
+                0.0
+            } else {
+                sum as f64 / pairs as f64
+            },
+        }
+    }
+
+    /// Hop count from `src` to `dst` (`u16::MAX` if unreachable).
+    #[inline]
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> u16 {
+        self.dist[src.index() * self.num_nodes + dst.index()]
+    }
+
+    /// Outgoing links of `cur` that lie on a minimal path to `dest`.
+    #[inline]
+    pub fn productive_links(&self, cur: NodeId, dest: NodeId) -> &[LinkId] {
+        &self.productive[cur.index() * self.num_nodes + dest.index()]
+    }
+
+    /// Longest shortest path between any reachable pair.
+    pub fn diameter(&self) -> u16 {
+        self.diameter
+    }
+
+    /// Mean shortest-path hop count over all ordered reachable pairs.
+    pub fn avg_distance(&self) -> f64 {
+        self.avg_distance
+    }
+
+    /// Average number of minimal next hops over all (cur, dest) pairs with
+    /// `cur != dest` — a simple path-diversity metric.
+    pub fn path_diversity(&self) -> f64 {
+        let n = self.num_nodes;
+        let mut sum = 0usize;
+        let mut count = 0usize;
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                sum += self.productive[s * n + t].len();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultInjector;
+
+    #[test]
+    fn mesh_distances_are_manhattan() {
+        let t = Topology::mesh(5, 5);
+        let d = DistanceMap::new(&t);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let (ax, ay) = t.coord(a).unwrap();
+                let (bx, by) = t.coord(b).unwrap();
+                let manhattan = (ax.abs_diff(bx) + ay.abs_diff(by)) as u16;
+                assert_eq!(d.distance(a, b), manhattan);
+            }
+        }
+    }
+
+    #[test]
+    fn productive_links_decrease_distance() {
+        let t = FaultInjector::new(11)
+            .remove_links(&Topology::mesh(6, 6), 8)
+            .unwrap();
+        let d = DistanceMap::new(&t);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                if a == b {
+                    continue;
+                }
+                let links = d.productive_links(a, b);
+                assert!(!links.is_empty(), "connected graph must have a next hop");
+                for &l in links {
+                    let next = t.link(l).dst;
+                    assert_eq!(d.distance(next, b) + 1, d.distance(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faults_increase_average_distance() {
+        let base = Topology::mesh(8, 8);
+        let d0 = DistanceMap::new(&base);
+        let faulty = FaultInjector::new(2).remove_links(&base, 12).unwrap();
+        let d1 = DistanceMap::new(&faulty);
+        assert!(d1.avg_distance() >= d0.avg_distance());
+        assert!(d1.path_diversity() <= d0.path_diversity());
+    }
+
+    #[test]
+    fn ring_diameter() {
+        let t = Topology::ring(8);
+        let d = DistanceMap::new(&t);
+        assert_eq!(d.diameter(), 4);
+    }
+}

@@ -1,0 +1,386 @@
+//! up*/down* routing support.
+//!
+//! up*/down* [Schroeder et al.] is the classic topology-agnostic
+//! deadlock-free routing used by the paper's escape-VC baseline on irregular
+//! topologies (§II-C, Fig 5): routers are numbered via a BFS spanning tree;
+//! every unidirectional link is *up* (toward the root) or *down* (away from
+//! it); a legal path is zero or more up links followed by zero or more down
+//! links, i.e. the down→up turn is forbidden, which breaks every cycle.
+//!
+//! [`UpDownRouting`] precomputes, for every (current node, destination,
+//! phase), the set of next-hop links on a *minimal legal* path. The phase —
+//! whether the packet has already traversed a down link — is derivable at a
+//! router from the direction of the input link, exactly as in hardware
+//! implementations.
+
+use std::collections::VecDeque;
+
+use crate::{LinkId, NodeId, Topology};
+
+/// Direction of a unidirectional link relative to the spanning-tree root.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkDirection {
+    /// Toward the root (to a lower (level, id) label).
+    Up,
+    /// Away from the root.
+    Down,
+}
+
+/// Routing phase of a packet under up*/down* rules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// No down link taken yet: both up and down links are legal.
+    CanUp,
+    /// A down link was taken: only down links are legal.
+    DownOnly,
+}
+
+/// Precomputed up*/down* labeling and minimal legal-path routing tables.
+///
+/// # Examples
+///
+/// ```
+/// use drain_topology::{Topology, NodeId, updown::{UpDownRouting, Phase}};
+///
+/// let t = Topology::mesh(4, 4);
+/// let ud = UpDownRouting::new(&t);
+/// let hops = ud.next_hops(NodeId(0), NodeId(15), Phase::CanUp);
+/// assert!(!hops.is_empty());
+/// // All routes terminate: distances are finite from the CanUp phase.
+/// assert!(ud.legal_distance(NodeId(3), NodeId(12), Phase::CanUp) < u16::MAX);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UpDownRouting {
+    root: NodeId,
+    level: Vec<u16>,
+    num_nodes: usize,
+    /// Direction per unidirectional link.
+    dir: Vec<LinkDirection>,
+    /// `dist[phase][u * n + dest]`: minimal legal hop count, `u16::MAX` if
+    /// unreachable in that phase.
+    dist: [Vec<u16>; 2],
+    /// `hops[phase][u * n + dest]`: minimal legal next-hop links.
+    hops: [Vec<Vec<LinkId>>; 2],
+}
+
+impl UpDownRouting {
+    /// Builds the labeling and tables using the highest-degree node
+    /// (lowest id tie-break) as root — the usual heuristic.
+    pub fn new(topo: &Topology) -> Self {
+        let root = topo
+            .nodes()
+            .max_by_key(|&n| (topo.degree(n), std::cmp::Reverse(n.0)))
+            .expect("topology is non-empty");
+        Self::with_root(topo, root)
+    }
+
+    /// Builds the labeling and tables from a chosen root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` is disconnected (up*/down* labels require a spanning
+    /// tree reaching every node).
+    pub fn with_root(topo: &Topology, root: NodeId) -> Self {
+        let n = topo.num_nodes();
+        // BFS levels from the root.
+        let mut level = vec![u16::MAX; n];
+        level[root.index()] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &l in topo.out_links(u) {
+                let v = topo.link(l).dst;
+                if level[v.index()] == u16::MAX {
+                    level[v.index()] = level[u.index()] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        assert!(
+            level.iter().all(|&l| l != u16::MAX),
+            "up*/down* requires a connected topology"
+        );
+        // A link u -> v is Up iff v's (level, id) label is smaller.
+        let label = |x: NodeId| (level[x.index()], x.0);
+        let dir: Vec<LinkDirection> = topo
+            .link_ids()
+            .map(|l| {
+                let e = topo.link(l);
+                if label(e.dst) < label(e.src) {
+                    LinkDirection::Up
+                } else {
+                    LinkDirection::Down
+                }
+            })
+            .collect();
+
+        // Per-destination BFS over the phase-expanded graph, reversed.
+        // Forward transitions: (u, CanUp) --up--> (v, CanUp)
+        //                      (u, CanUp) --down--> (v, DownOnly)
+        //                      (u, DownOnly) --down--> (v, DownOnly)
+        let mut dist = [vec![u16::MAX; n * n], vec![u16::MAX; n * n]];
+        const CAN_UP: usize = 0;
+        const DOWN_ONLY: usize = 1;
+        for dest in topo.nodes() {
+            let di = dest.index();
+            dist[CAN_UP][di * n + di] = 0;
+            dist[DOWN_ONLY][di * n + di] = 0;
+            // BFS on reversed edges from both destination states.
+            let mut q: VecDeque<(NodeId, usize)> = VecDeque::new();
+            q.push_back((dest, CAN_UP));
+            q.push_back((dest, DOWN_ONLY));
+            while let Some((v, phase)) = q.pop_front() {
+                let dv = dist[phase][v.index() * n + di];
+                for &l in topo.in_links(v) {
+                    let u = topo.link(l).src;
+                    // Which forward transitions produce (v, phase)?
+                    let preds: &[usize] = match (dir[l.index()], phase) {
+                        (LinkDirection::Up, CAN_UP) => &[CAN_UP],
+                        (LinkDirection::Down, DOWN_ONLY) => &[CAN_UP, DOWN_ONLY],
+                        _ => &[],
+                    };
+                    for &p in preds {
+                        let slot = &mut dist[p][u.index() * n + di];
+                        if *slot == u16::MAX {
+                            *slot = dv + 1;
+                            q.push_back((u, p));
+                        }
+                    }
+                }
+            }
+        }
+        // Next-hop sets from the distance tables.
+        let mut hops = [vec![Vec::new(); n * n], vec![Vec::new(); n * n]];
+        for u in topo.nodes() {
+            for dest in topo.nodes() {
+                if u == dest {
+                    continue;
+                }
+                for phase in [CAN_UP, DOWN_ONLY] {
+                    let du = dist[phase][u.index() * n + dest.index()];
+                    if du == u16::MAX {
+                        continue;
+                    }
+                    let set: Vec<LinkId> = topo
+                        .out_links(u)
+                        .iter()
+                        .copied()
+                        .filter(|&l| {
+                            let v = topo.link(l).dst;
+                            let next_phase = match (phase, dir[l.index()]) {
+                                (CAN_UP, LinkDirection::Up) => CAN_UP,
+                                (_, LinkDirection::Down) => DOWN_ONLY,
+                                // Down→up turn is forbidden.
+                                (_, LinkDirection::Up) => return false,
+                            };
+                            dist[next_phase][v.index() * n + dest.index()] == du - 1
+                        })
+                        .collect();
+                    hops[phase][u.index() * n + dest.index()] = set;
+                }
+            }
+        }
+        UpDownRouting {
+            root,
+            level,
+            num_nodes: n,
+            dir,
+            dist,
+            hops,
+        }
+    }
+
+    /// The spanning-tree root used for the labeling.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// BFS level of node `n` (root is 0).
+    pub fn level(&self, n: NodeId) -> u16 {
+        self.level[n.index()]
+    }
+
+    /// Direction of unidirectional link `l`.
+    pub fn direction(&self, l: LinkId) -> LinkDirection {
+        self.dir[l.index()]
+    }
+
+    /// Whether the turn `from -> to` is legal under up*/down* rules
+    /// (down→up is the forbidden turn).
+    pub fn is_legal_turn(&self, from: LinkId, to: LinkId) -> bool {
+        !(self.dir[from.index()] == LinkDirection::Down
+            && self.dir[to.index()] == LinkDirection::Up)
+    }
+
+    /// Phase implied by the link a packet arrived on (`None` = injected
+    /// here, so no down link taken yet).
+    pub fn phase_after(&self, arrived_via: Option<LinkId>) -> Phase {
+        match arrived_via {
+            Some(l) if self.dir[l.index()] == LinkDirection::Down => Phase::DownOnly,
+            _ => Phase::CanUp,
+        }
+    }
+
+    /// Minimal legal hop count from `cur` (in `phase`) to `dest`
+    /// (`u16::MAX` if unreachable in that phase).
+    pub fn legal_distance(&self, cur: NodeId, dest: NodeId, phase: Phase) -> u16 {
+        self.dist[phase as usize][cur.index() * self.num_nodes + dest.index()]
+    }
+
+    /// Next-hop links on a minimal legal path from `cur` to `dest` given the
+    /// packet's `phase`.
+    pub fn next_hops(&self, cur: NodeId, dest: NodeId, phase: Phase) -> &[LinkId] {
+        &self.hops[phase as usize][cur.index() * self.num_nodes + dest.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultInjector;
+
+    fn check_all_pairs_route(topo: &Topology, ud: &UpDownRouting) {
+        // Follow next_hops greedily from every (src, dest): must terminate.
+        for src in topo.nodes() {
+            for dest in topo.nodes() {
+                if src == dest {
+                    continue;
+                }
+                let mut cur = src;
+                let mut phase = Phase::CanUp;
+                let mut hops = 0;
+                while cur != dest {
+                    let nh = ud.next_hops(cur, dest, phase);
+                    assert!(
+                        !nh.is_empty(),
+                        "no legal next hop from {cur:?} to {dest:?} in {phase:?}"
+                    );
+                    let l = nh[0];
+                    phase = match (phase, ud.direction(l)) {
+                        (Phase::CanUp, LinkDirection::Up) => Phase::CanUp,
+                        _ => Phase::DownOnly,
+                    };
+                    cur = topo.link(l).dst;
+                    hops += 1;
+                    assert!(hops <= topo.num_nodes() as u32 * 2, "routing loop");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_complete_on_mesh() {
+        let t = Topology::mesh(4, 4);
+        let ud = UpDownRouting::new(&t);
+        check_all_pairs_route(&t, &ud);
+    }
+
+    #[test]
+    fn routes_complete_on_faulty_mesh() {
+        for seed in 0..5 {
+            let t = FaultInjector::new(seed)
+                .remove_links(&Topology::mesh(8, 8), 12)
+                .unwrap();
+            let ud = UpDownRouting::new(&t);
+            check_all_pairs_route(&t, &ud);
+        }
+    }
+
+    #[test]
+    fn no_cycle_in_legal_turns() {
+        // The legal-turn graph over links must be acyclic when restricted to
+        // the up*/down* rule... more precisely, any cycle of links must
+        // contain a down->up (illegal) turn. Verify via DFS on the legal
+        // dependency graph.
+        let t = FaultInjector::new(3)
+            .remove_links(&Topology::mesh(6, 6), 8)
+            .unwrap();
+        let ud = UpDownRouting::new(&t);
+        let m = t.num_unidirectional_links();
+        // 0 = unvisited, 1 = on stack, 2 = done
+        let mut state = vec![0u8; m];
+        let mut stack: Vec<(LinkId, usize)> = Vec::new();
+        for start in t.link_ids() {
+            if state[start.index()] != 0 {
+                continue;
+            }
+            stack.push((start, 0));
+            state[start.index()] = 1;
+            while let Some(&mut (l, ref mut i)) = stack.last_mut() {
+                let pivot = t.link(l).dst;
+                let outs = t.out_links(pivot);
+                let mut advanced = false;
+                while *i < outs.len() {
+                    let nxt = outs[*i];
+                    *i += 1;
+                    if !ud.is_legal_turn(l, nxt) {
+                        continue;
+                    }
+                    match state[nxt.index()] {
+                        0 => {
+                            state[nxt.index()] = 1;
+                            stack.push((nxt, 0));
+                            advanced = true;
+                            break;
+                        }
+                        1 => panic!("cycle of legal turns found: up*/down* broken"),
+                        _ => {}
+                    }
+                }
+                if !advanced && stack.last().map(|&(x, _)| x) == Some(l) {
+                    state[l.index()] = 2;
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_down_direction_antisymmetric() {
+        let t = Topology::mesh(5, 5);
+        let ud = UpDownRouting::new(&t);
+        for l in t.link_ids() {
+            assert_ne!(
+                ud.direction(l),
+                ud.direction(l.reverse()),
+                "a link and its reverse must have opposite directions"
+            );
+        }
+    }
+
+    #[test]
+    fn root_has_highest_degree() {
+        let t = Topology::mesh(5, 5);
+        let ud = UpDownRouting::new(&t);
+        assert_eq!(t.degree(ud.root()), t.max_degree());
+        assert_eq!(ud.level(ud.root()), 0);
+    }
+
+    #[test]
+    fn non_minimal_paths_exist_under_updown() {
+        // up*/down* often forces non-minimal routes; verify at least one
+        // pair on a faulty mesh pays extra hops vs. the unrestricted
+        // shortest path (this is the Fig 5 latency-gap mechanism).
+        let t = FaultInjector::new(1)
+            .remove_links(&Topology::mesh(8, 8), 8)
+            .unwrap();
+        let ud = UpDownRouting::new(&t);
+        let d = crate::distance::DistanceMap::new(&t);
+        let mut stretched = 0;
+        for a in t.nodes() {
+            for b in t.nodes() {
+                if a == b {
+                    continue;
+                }
+                let legal = ud.legal_distance(a, b, Phase::CanUp);
+                let min = d.distance(a, b);
+                assert!(legal >= min);
+                assert_ne!(legal, u16::MAX);
+                if legal > min {
+                    stretched += 1;
+                }
+            }
+        }
+        assert!(stretched > 0, "expected some non-minimal up*/down* routes");
+    }
+}

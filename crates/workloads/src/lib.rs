@@ -1,0 +1,377 @@
+//! Application workload models (PARSEC, SPLASH-2, Ligra).
+//!
+//! **Substitution notice** (see DESIGN.md §3): the paper runs the real
+//! benchmark binaries on gem5 cores. Those binaries and a full-system
+//! timing CPU are out of scope here, so each application is modeled as a
+//! statistical memory-reference stream (an [`AppModel`]) feeding the MESI
+//! coherence engine: issue rate, write fraction, working-set size, sharing
+//! fraction and burstiness. The parameters are synthesized to match each
+//! app's qualitative character in the paper — e.g. `canneal` has the
+//! highest injection rate of the PARSEC set (its Fig 3 row deadlocks
+//! first), graph workloads (Ligra) are sharing-heavy and bursty.
+//!
+//! What this preserves: the *relative* network load and message-class mix
+//! that determine deadlock likelihood and scheme-vs-scheme deltas. What it
+//! does not preserve: absolute miss curves of the real binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use drain_workloads::{parsec, AppModel};
+//!
+//! let apps = parsec();
+//! assert!(apps.iter().any(|a| a.name == "canneal"));
+//! let canneal = apps.iter().find(|a| a.name == "canneal").unwrap();
+//! let most_intense = apps.iter().all(|a| a.issue_rate <= canneal.issue_rate);
+//! assert!(most_intense);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use drain_coherence::{MemOp, MemoryTrace};
+use drain_topology::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A statistical application model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppModel {
+    /// Application name (paper figure labels).
+    pub name: &'static str,
+    /// Suite the app belongs to.
+    pub suite: Suite,
+    /// Memory ops per cycle per core offered by the core model.
+    pub issue_rate: f64,
+    /// Fraction of ops that are stores.
+    pub write_frac: f64,
+    /// Shared working set in cache lines.
+    pub shared_lines: u32,
+    /// Fraction of accesses hitting the shared region (the rest are
+    /// private and mostly L1 hits).
+    pub sharing: f64,
+    /// Mean burst length in ops (issue comes in bursts, graph-style).
+    pub burst_len: f64,
+}
+
+/// Benchmark suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// PARSEC (16-core x86 in the paper).
+    Parsec,
+    /// SPLASH-2 (16-core x86 in the paper).
+    Splash2,
+    /// Ligra graph workloads (64-core RISC-V in the paper).
+    Ligra,
+}
+
+/// The five PARSEC apps of Fig 3/13, calibrated so `canneal` is the most
+/// network-intensive.
+pub fn parsec() -> Vec<AppModel> {
+    vec![
+        AppModel {
+            name: "blackscholes",
+            suite: Suite::Parsec,
+            issue_rate: 0.006,
+            write_frac: 0.20,
+            shared_lines: 256,
+            sharing: 0.25,
+            burst_len: 1.5,
+        },
+        AppModel {
+            name: "bodytrack",
+            suite: Suite::Parsec,
+            issue_rate: 0.009,
+            write_frac: 0.25,
+            shared_lines: 512,
+            sharing: 0.35,
+            burst_len: 2.0,
+        },
+        AppModel {
+            name: "canneal",
+            suite: Suite::Parsec,
+            issue_rate: 0.012,
+            write_frac: 0.35,
+            shared_lines: 2048,
+            sharing: 0.70,
+            burst_len: 3.0,
+        },
+        AppModel {
+            name: "fluidanimate",
+            suite: Suite::Parsec,
+            issue_rate: 0.010,
+            write_frac: 0.30,
+            shared_lines: 1024,
+            sharing: 0.40,
+            burst_len: 2.0,
+        },
+        AppModel {
+            name: "swaptions",
+            suite: Suite::Parsec,
+            issue_rate: 0.007,
+            write_frac: 0.22,
+            shared_lines: 256,
+            sharing: 0.20,
+            burst_len: 1.5,
+        },
+    ]
+}
+
+/// A SPLASH-2 subset (Fig 13's companion suite).
+pub fn splash2() -> Vec<AppModel> {
+    vec![
+        AppModel {
+            name: "fft",
+            suite: Suite::Splash2,
+            issue_rate: 0.0095,
+            write_frac: 0.30,
+            shared_lines: 1024,
+            sharing: 0.50,
+            burst_len: 2.5,
+        },
+        AppModel {
+            name: "lu",
+            suite: Suite::Splash2,
+            issue_rate: 0.008,
+            write_frac: 0.28,
+            shared_lines: 768,
+            sharing: 0.45,
+            burst_len: 2.0,
+        },
+        AppModel {
+            name: "radix",
+            suite: Suite::Splash2,
+            issue_rate: 0.011,
+            write_frac: 0.40,
+            shared_lines: 1024,
+            sharing: 0.55,
+            burst_len: 2.5,
+        },
+        AppModel {
+            name: "barnes",
+            suite: Suite::Splash2,
+            issue_rate: 0.0075,
+            write_frac: 0.25,
+            shared_lines: 512,
+            sharing: 0.40,
+            burst_len: 2.0,
+        },
+    ]
+}
+
+/// Ligra graph workloads (Fig 12): sharing-heavy, bursty, 64 cores.
+pub fn ligra() -> Vec<AppModel> {
+    vec![
+        AppModel {
+            name: "bfs",
+            suite: Suite::Ligra,
+            issue_rate: 0.010,
+            write_frac: 0.25,
+            shared_lines: 4096,
+            sharing: 0.80,
+            burst_len: 4.0,
+        },
+        AppModel {
+            name: "pagerank",
+            suite: Suite::Ligra,
+            issue_rate: 0.011,
+            write_frac: 0.30,
+            shared_lines: 4096,
+            sharing: 0.85,
+            burst_len: 3.0,
+        },
+        AppModel {
+            name: "components",
+            suite: Suite::Ligra,
+            issue_rate: 0.009,
+            write_frac: 0.28,
+            shared_lines: 2048,
+            sharing: 0.75,
+            burst_len: 3.5,
+        },
+        AppModel {
+            name: "radii",
+            suite: Suite::Ligra,
+            issue_rate: 0.008,
+            write_frac: 0.24,
+            shared_lines: 2048,
+            sharing: 0.70,
+            burst_len: 3.0,
+        },
+        AppModel {
+            name: "bellman-ford",
+            suite: Suite::Ligra,
+            issue_rate: 0.010,
+            write_frac: 0.32,
+            shared_lines: 4096,
+            sharing: 0.80,
+            burst_len: 4.0,
+        },
+        AppModel {
+            name: "triangle",
+            suite: Suite::Ligra,
+            issue_rate: 0.007,
+            write_frac: 0.20,
+            shared_lines: 2048,
+            sharing: 0.65,
+            burst_len: 2.5,
+        },
+    ]
+}
+
+/// All suites concatenated.
+pub fn all_apps() -> Vec<AppModel> {
+    let mut v = parsec();
+    v.extend(splash2());
+    v.extend(ligra());
+    v
+}
+
+/// Looks up an app by name across all suites.
+pub fn app_by_name(name: &str) -> Option<AppModel> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+/// Per-core bursty memory-reference stream realizing an [`AppModel`].
+#[derive(Clone, Debug)]
+pub struct AppTrace {
+    model: AppModel,
+    rng: ChaCha8Rng,
+    /// Remaining ops in the current burst, per core.
+    burst_left: Vec<u32>,
+    quota: Option<u64>,
+}
+
+impl AppTrace {
+    /// Creates a trace for `num_cores` cores.
+    pub fn new(model: AppModel, num_cores: usize, seed: u64) -> Self {
+        AppTrace {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0xAB1E),
+            burst_left: vec![0; num_cores],
+            model,
+            quota: None,
+        }
+    }
+
+    /// Stops each core after `ops` completed operations (runtime metric).
+    pub fn with_quota(mut self, ops: u64) -> Self {
+        self.quota = Some(ops);
+        self
+    }
+
+    /// The model parameters.
+    pub fn model(&self) -> &AppModel {
+        &self.model
+    }
+}
+
+impl MemoryTrace for AppTrace {
+    fn next_op(&mut self, core: NodeId, _cycle: u64) -> Option<MemOp> {
+        let idx = core.index() % self.burst_left.len();
+        let slot = &mut self.burst_left[idx];
+        if *slot == 0 {
+            // Start a new burst with probability issue_rate / burst_len so
+            // the long-run rate stays at issue_rate.
+            let p_start = self.model.issue_rate / self.model.burst_len;
+            if self.rng.gen::<f64>() >= p_start {
+                return None;
+            }
+            // Geometric-ish burst length with the configured mean.
+            let len = 1 + self.rng.gen_range(0..(2.0 * self.model.burst_len) as u32 + 1);
+            *slot = len;
+        }
+        *slot -= 1;
+        let shared = self.rng.gen::<f64>() < self.model.sharing;
+        let addr = if shared {
+            self.rng.gen_range(0..self.model.shared_lines)
+        } else {
+            self.model.shared_lines + (core.0 as u32) * 8192 + self.rng.gen_range(0..128)
+        };
+        Some(MemOp {
+            addr,
+            is_write: self.rng.gen::<f64>() < self.model.write_frac,
+        })
+    }
+
+    fn name(&self) -> &str {
+        self.model.name
+    }
+
+    fn quota(&self) -> Option<u64> {
+        self.quota
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canneal_is_most_intense_parsec() {
+        let apps = parsec();
+        let canneal = app_by_name("canneal").unwrap();
+        for a in &apps {
+            assert!(a.issue_rate <= canneal.issue_rate, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(parsec().len(), 5);
+        assert_eq!(splash2().len(), 4);
+        assert_eq!(ligra().len(), 6);
+        assert_eq!(all_apps().len(), 15);
+    }
+
+    #[test]
+    fn unknown_app_is_none() {
+        assert!(app_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn trace_long_run_rate_close_to_model() {
+        let model = app_by_name("canneal").unwrap();
+        let mut t = AppTrace::new(model.clone(), 1, 7);
+        let n = 2_000_000u64;
+        let issued = (0..n).filter(|&c| t.next_op(NodeId(0), c).is_some()).count() as f64;
+        let rate = issued / n as f64;
+        assert!(
+            (rate - model.issue_rate).abs() < model.issue_rate * 0.5,
+            "long-run rate {rate} vs model {}",
+            model.issue_rate
+        );
+    }
+
+    #[test]
+    fn trace_is_bursty() {
+        let model = app_by_name("bfs").unwrap();
+        let mut t = AppTrace::new(model, 1, 9);
+        // Count back-to-back issue pairs; a Bernoulli stream at the same
+        // rate would have far fewer.
+        let mut prev = false;
+        let mut pairs = 0;
+        let mut issues = 0;
+        for c in 0..1_000_000u64 {
+            let now = t.next_op(NodeId(0), c).is_some();
+            if now {
+                issues += 1;
+                if prev {
+                    pairs += 1;
+                }
+            }
+            prev = now;
+        }
+        let pair_rate = pairs as f64 / issues as f64;
+        assert!(
+            pair_rate > 0.2,
+            "bursty stream should have many adjacent issues (got {pair_rate})"
+        );
+    }
+
+    #[test]
+    fn ligra_apps_share_heavily() {
+        for a in ligra() {
+            assert!(a.sharing >= 0.6, "{} sharing {}", a.name, a.sharing);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Heterogeneous chiplet system demo (paper §VI): independently designed
+//! networks — two meshes and a ring accelerator — joined by an interposer.
+//! Composing individually deadlock-free networks is not deadlock-free, but
+//! DRAIN's offline algorithm covers the composed irregular topology with
+//! one drain path and guarantees deadlock freedom for the whole package.
+//!
+//! Run with: `cargo run --release --example chiplet`
+
+use drain_repro::prelude::*;
+use drain_repro::topology::chiplet::{compose, Chiplet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three vendor chiplets with their own topologies.
+    let cpu = Chiplet::new(Topology::mesh(4, 4), vec![3, 12]);
+    let gpu = Chiplet::new(Topology::mesh(3, 3), vec![0, 8]);
+    let accel = Chiplet::new(Topology::ring(6), vec![0, 3]);
+    let system = compose("chiplet-system", &[cpu, gpu, accel])?;
+    println!(
+        "composed system: {} nodes, {} links, connected: {}",
+        system.num_nodes(),
+        system.num_bidirectional_links(),
+        system.is_connected()
+    );
+
+    // One drain path covers the whole package, interposer links included.
+    let path = DrainPath::compute(&system)?;
+    println!("drain path covers all {} unidirectional links", path.len());
+    let mut covered = vec![false; system.num_nodes()];
+    for &l in path.circuit() {
+        covered[system.link(l).src.index()] = true;
+    }
+    assert!(covered.iter().all(|&c| c), "every router drained");
+
+    // Cross-chiplet traffic under DRAIN.
+    let mut sim = DrainNetworkBuilder::new(system)
+        .epoch(16_384)
+        .pattern(SyntheticPattern::UniformRandom)
+        .injection_rate(0.03)
+        .seed(5)
+        .build()?;
+    sim.run(60_000);
+    let s = sim.stats();
+    println!("\nafter 60K cycles of cross-chiplet uniform traffic:");
+    println!("  delivered: {}  mean latency: {:.1}  drains: {}", s.ejected, s.net_latency.mean(), s.drains);
+    assert!(s.ejected > 1_000);
+    println!("\nArbitrary vendor topologies compose deadlock-free under DRAIN —");
+    println!("no inter-chiplet turn restrictions required (paper §VI).");
+    Ok(())
+}

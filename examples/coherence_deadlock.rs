@@ -1,0 +1,75 @@
+//! Protocol-level deadlock demo (paper Fig 2): a MESI system whose three
+//! message classes share ONE virtual network deadlocks under load; the
+//! same system protected by DRAIN keeps running — no virtual networks
+//! needed.
+//!
+//! Run with: `cargo run --release --example coherence_deadlock`
+
+use drain_repro::prelude::*;
+
+fn build(topo: &Topology, protected: bool, seed: u64) -> Sim {
+    let engine = CoherenceEngine::new(
+        topo,
+        CoherenceConfig::default(),
+        Box::new(SyntheticMemTrace::uniform(0.05, 0.4, 256, seed)),
+    );
+    let config = SimConfig {
+        vns: 1, // all three classes share one virtual network!
+        vcs_per_vn: 2,
+        num_classes: 3,
+        inj_queue_capacity: topo.num_nodes() + 8,
+        escape_sticky: true,
+        watchdog_threshold: 30_000,
+        seed,
+        ..SimConfig::default()
+    };
+    let mechanism: Box<dyn drain_repro::netsim::mechanism::Mechanism> = if protected {
+        let path = DrainPath::compute(topo).expect("connected");
+        Box::new(DrainMechanism::new(
+            path,
+            DrainConfig {
+                epoch: 8_192,
+                ..DrainConfig::default()
+            },
+        ))
+    } else {
+        Box::new(drain_repro::netsim::mechanism::NoMechanism)
+    };
+    Sim::new(
+        topo.clone(),
+        config,
+        Box::new(FullyAdaptive::new(topo)),
+        mechanism,
+        Box::new(engine),
+    )
+}
+
+fn main() {
+    let topo = Topology::mesh(4, 4);
+    println!("16-core MESI system, three message classes on ONE virtual network\n");
+
+    let mut unprotected = build(&topo, false, 2);
+    unprotected.run(150_000);
+    println!("unprotected (no deadlock mechanism):");
+    println!("  packets delivered: {}", unprotected.stats().ejected);
+    println!(
+        "  wedged by a protocol-level deadlock: {}",
+        unprotected.stats().watchdog_deadlock
+    );
+
+    let mut drained = build(&topo, true, 2);
+    drained.run(150_000);
+    println!("\nDRAIN (8K-cycle epochs, same single virtual network):");
+    println!("  packets delivered: {}", drained.stats().ejected);
+    println!("  drain windows:     {}", drained.stats().drains);
+    println!(
+        "  wedged:            {}",
+        drained.stats().watchdog_deadlock
+    );
+    assert!(
+        drained.stats().ejected > unprotected.stats().ejected,
+        "DRAIN must outlive the unprotected network"
+    );
+    println!("\nDRAIN removes protocol-level deadlocks without per-class virtual networks —");
+    println!("the buffer savings behind the paper's 77% router-power reduction (Fig 9).");
+}

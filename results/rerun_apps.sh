@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerate the app-workload figures (run after any coherence-protocol change).
+set -e
+cd "$(dirname "$0")/.."
+for f in fig03 fig12 fig13 fig15; do
+  cargo run -q --release -p drain-bench --bin $f > results/$f.txt 2>&1
+  echo "$f done"
+done

@@ -1,0 +1,220 @@
+//! `drain-cli` — explore topologies, drain paths and deadlock behaviour
+//! from the command line.
+//!
+//! ```text
+//! drain-cli topology mesh8x8 -f 8 -s 42       topology facts
+//! drain-cli path ring6                        drain path + turn tables
+//! drain-cli simulate mesh8x8 --scheme drain --rate 0.05 --cycles 50000
+//! drain-cli deadlock-check mesh8x8 -f 8 --rate 0.2 --cycles 60000
+//! ```
+//!
+//! Topology specs: `meshWxH`, `torusWxH`, `ringN`, `randomN` (degree 3),
+//! each optionally followed by `-f <faults> -s <seed>`.
+
+use std::process::ExitCode;
+
+use drain_repro::baselines::{baseline_sim, Baseline};
+use drain_repro::drain::builder::DrainNetworkBuilder;
+use drain_repro::prelude::*;
+use drain_repro::topology::chiplet::random_connected;
+
+fn parse_topology(args: &[String]) -> Result<Topology, String> {
+    let spec = args.first().ok_or("missing topology spec")?;
+    let base = if let Some(rest) = spec.strip_prefix("mesh") {
+        let (w, h) = parse_dims(rest)?;
+        Topology::mesh(w, h)
+    } else if let Some(rest) = spec.strip_prefix("torus") {
+        let (w, h) = parse_dims(rest)?;
+        Topology::torus(w, h)
+    } else if let Some(rest) = spec.strip_prefix("ring") {
+        Topology::ring(rest.parse().map_err(|_| "bad ring size")?)
+    } else if let Some(rest) = spec.strip_prefix("random") {
+        let n: u16 = rest.parse().map_err(|_| "bad random size")?;
+        random_connected(n, 3.0, flag(args, "-s").unwrap_or(1.0) as u64)
+    } else {
+        return Err(format!("unknown topology spec '{spec}'"));
+    };
+    let faults = flag(args, "-f").unwrap_or(0.0) as usize;
+    if faults == 0 {
+        return Ok(base);
+    }
+    let seed = flag(args, "-s").unwrap_or(1.0) as u64;
+    FaultInjector::new(seed)
+        .remove_links(&base, faults)
+        .map_err(|e| e.to_string())
+}
+
+fn parse_dims(s: &str) -> Result<(u16, u16), String> {
+    let (w, h) = s.split_once('x').ok_or("dims look like 8x8")?;
+    Ok((
+        w.parse().map_err(|_| "bad width")?,
+        h.parse().map_err(|_| "bad height")?,
+    ))
+}
+
+fn flag(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn sflag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let t = parse_topology(args)?;
+    println!("name:        {}", t.name());
+    println!("nodes:       {}", t.num_nodes());
+    println!("bidir links: {}", t.num_bidirectional_links());
+    println!("max degree:  {}", t.max_degree());
+    println!("connected:   {}", t.is_connected());
+    let d = drain_repro::topology::distance::DistanceMap::new(&t);
+    println!("diameter:    {}", d.diameter());
+    println!("avg hops:    {:.2}", d.avg_distance());
+    println!("diversity:   {:.2} minimal next-hops/pair", d.path_diversity());
+    Ok(())
+}
+
+fn cmd_path(args: &[String]) -> Result<(), String> {
+    let t = parse_topology(args)?;
+    let p = DrainPath::compute(&t).map_err(|e| e.to_string())?;
+    println!(
+        "drain path: {} links (covers every unidirectional link exactly once)",
+        p.len()
+    );
+    p.verify(&t).map_err(|e| e.to_string())?;
+    println!("verified:   closed walk, all links once, turn-table is a permutation");
+    let hops: Vec<String> = p
+        .circuit()
+        .iter()
+        .map(|&l| {
+            let e = t.link(l);
+            format!("{}>{}", e.src, e.dst)
+        })
+        .collect();
+    println!("path:       {}", hops.join(" "));
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let t = parse_topology(args)?;
+    let scheme = sflag(args, "--scheme").unwrap_or_else(|| "drain".into());
+    let rate = flag(args, "--rate").unwrap_or(0.05);
+    let cycles = flag(args, "--cycles").unwrap_or(50_000.0) as u64;
+    let seed = flag(args, "-s").unwrap_or(1.0) as u64;
+    let full_mesh = flag(args, "-f").unwrap_or(0.0) == 0.0 && args[0].starts_with("mesh");
+    let traffic = Box::new(SyntheticTraffic::new(
+        SyntheticPattern::UniformRandom,
+        rate,
+        1,
+        seed,
+    ));
+    let mut sim = match scheme.as_str() {
+        "drain" => DrainNetworkBuilder::new(t.clone())
+            .injection_rate(rate)
+            .seed(seed)
+            .build()
+            .map_err(|e| e.to_string())?,
+        "spin" => baseline_sim(&t, Baseline::Spin, full_mesh, traffic, seed),
+        "escape-vc" => baseline_sim(&t, Baseline::EscapeVc, full_mesh, traffic, seed),
+        "updown" => baseline_sim(&t, Baseline::UpDown, full_mesh, traffic, seed),
+        "none" => baseline_sim(&t, Baseline::Unprotected, full_mesh, traffic, seed),
+        other => return Err(format!("unknown scheme '{other}'")),
+    };
+    sim.warmup_and_measure(cycles / 5, cycles);
+    let s = sim.stats();
+    let now = sim.core().cycle();
+    println!("scheme:      {}", sim.mechanism_name());
+    println!("routing:     {}", sim.core().routing_name());
+    println!("cycles:      {now}");
+    println!("delivered:   {}", s.ejected);
+    println!("throughput:  {:.4} pkts/node/cycle", s.throughput(now, t.num_nodes()));
+    println!("latency:     {:.1} cycles (p99 {})", s.net_latency.mean(), s.net_latency.p99());
+    println!("avg hops:    {:.2}", s.avg_hops());
+    println!("drains:      {} (forced hops {})", s.drains, s.forced_hops);
+    println!("spins:       {} (probe hops {})", s.spins, s.probe_hops);
+    Ok(())
+}
+
+fn cmd_deadlock_check(args: &[String]) -> Result<(), String> {
+    let t = parse_topology(args)?;
+    let rate = flag(args, "--rate").unwrap_or(0.2);
+    let cycles = flag(args, "--cycles").unwrap_or(60_000.0) as u64;
+    let seed = flag(args, "-s").unwrap_or(1.0) as u64;
+    let mut sim = Sim::new(
+        t.clone(),
+        SimConfig {
+            vns: 1,
+            vcs_per_vn: 2,
+            num_classes: 1,
+            deadlock_check_interval: 256,
+            watchdog_threshold: 10_000,
+            seed,
+            ..SimConfig::default()
+        },
+        Box::new(FullyAdaptive::new(&t)),
+        Box::new(drain_repro::netsim::mechanism::NoMechanism),
+        Box::new(SyntheticTraffic::new(
+            SyntheticPattern::UniformRandom,
+            rate,
+            1,
+            seed,
+        )),
+    )
+    .stop_on_deadlock(true);
+    let outcome = sim.run(cycles);
+    let s = sim.stats();
+    println!("unprotected fully adaptive network at rate {rate}:");
+    println!("outcome:        {outcome:?}");
+    println!("delivered:      {}", s.ejected);
+    if s.first_deadlock_cycle != u64::MAX {
+        println!("first deadlock: cycle {}", s.first_deadlock_cycle);
+        println!("=> this configuration needs a deadlock-freedom scheme (try --scheme drain)");
+    } else {
+        println!("no deadlock observed within {cycles} cycles");
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "drain-cli <command> <topology> [options]\n\
+     commands:\n\
+       topology <spec> [-f faults] [-s seed]      topology facts\n\
+       path <spec> [-f faults] [-s seed]          drain path + verification\n\
+       simulate <spec> [--scheme drain|spin|escape-vc|updown|none]\n\
+                       [--rate R] [--cycles N] [-f faults] [-s seed]\n\
+       deadlock-check <spec> [--rate R] [--cycles N] [-f faults] [-s seed]\n\
+     topology specs: meshWxH | torusWxH | ringN | randomN"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "topology" => cmd_topology(rest),
+        "path" => cmd_path(rest),
+        "simulate" => cmd_simulate(rest),
+        "deadlock-check" => cmd_deadlock_check(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use drain_repro::path::{Algorithm, DrainPath};
+use drain_repro::prelude::*;
+use drain_repro::topology::chiplet::random_connected;
+use drain_repro::topology::depgraph::DependencyGraph;
+use drain_repro::topology::distance::DistanceMap;
+use drain_repro::topology::updown::{Phase, UpDownRouting};
+
+/// Strategy: an arbitrary connected topology (faulty mesh or random graph).
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        // Faulty meshes: dims 3..=6, faults bounded by removable links.
+        (3u16..=6, 3u16..=6, 0usize..=6, any::<u64>()).prop_map(|(w, h, faults, seed)| {
+            let base = Topology::mesh(w, h);
+            if faults == 0 {
+                base
+            } else {
+                FaultInjector::new(seed)
+                    .remove_links(&base, faults)
+                    .unwrap_or(base)
+            }
+        }),
+        // Random connected graphs.
+        (6u16..=24, any::<u64>()).prop_map(|(n, seed)| random_connected(n, 3.0, seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn drain_path_covers_every_link(topo in arb_topology()) {
+        let p = DrainPath::compute(&topo).unwrap();
+        prop_assert_eq!(p.len(), topo.num_unidirectional_links());
+        prop_assert!(p.verify(&topo).is_ok());
+        prop_assert!(p.turn_table().is_permutation());
+    }
+
+    #[test]
+    fn both_offline_algorithms_agree_on_coverage(topo in arb_topology()) {
+        let a = DrainPath::compute_with(&topo, Algorithm::Hierholzer).unwrap();
+        let b = DrainPath::compute_with(&topo, Algorithm::HawickJames).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert!(b.verify(&topo).is_ok());
+    }
+
+    #[test]
+    fn drain_path_is_closed_walk_in_dependency_graph(topo in arb_topology()) {
+        let p = DrainPath::compute(&topo).unwrap();
+        let dep = DependencyGraph::new(&topo);
+        prop_assert!(dep.is_closed_walk(p.circuit()));
+    }
+
+    #[test]
+    fn fault_injection_preserves_connectivity(
+        seed in any::<u64>(),
+        faults in 1usize..=10,
+    ) {
+        let base = Topology::mesh(6, 6);
+        let t = FaultInjector::new(seed).remove_links(&base, faults).unwrap();
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.num_bidirectional_links(), base.num_bidirectional_links() - faults);
+        prop_assert_eq!(t.num_nodes(), base.num_nodes());
+    }
+
+    #[test]
+    fn distances_satisfy_triangle_step(topo in arb_topology()) {
+        let d = DistanceMap::new(&topo);
+        for l in topo.link_ids() {
+            let e = topo.link(l);
+            for dest in topo.nodes() {
+                let a = d.distance(e.src, dest);
+                let b = d.distance(e.dst, dest);
+                // One hop changes distance by at most one.
+                prop_assert!(a.abs_diff(b) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn updown_routes_all_pairs(topo in arb_topology()) {
+        let ud = UpDownRouting::new(&topo);
+        for s in topo.nodes() {
+            for t in topo.nodes() {
+                if s == t { continue; }
+                prop_assert!(
+                    ud.legal_distance(s, t, Phase::CanUp) != u16::MAX,
+                    "no legal up*/down* path {s:?}->{t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_drain_sim_conserves_packets(
+        seed in any::<u64>(),
+        rate in 0.01f64..0.2,
+    ) {
+        let topo = Topology::mesh(4, 4);
+        let mut sim = DrainNetworkBuilder::new(topo)
+            .epoch(512)
+            .injection_rate(rate)
+            .seed(seed)
+            .build()
+            .unwrap();
+        sim.run(3_000);
+        let s = sim.stats();
+        prop_assert_eq!(
+            s.generated + sim.core().ejection_backlog() as u64,
+            s.ejected + sim.core().live_packets() as u64
+        );
+        prop_assert!(s.injected >= s.ejected);
+    }
+}

@@ -1,6 +1,6 @@
 //! Baseline deadlock-freedom schemes the paper compares DRAIN against.
 //!
-//! * [`spin::SpinMechanism`] — a reimplementation of SPIN [5]: per-VC
+//! * [`spin::SpinMechanism`] — a reimplementation of SPIN (paper ref \[5\]): per-VC
 //!   timeout counters suspect a deadlock, a probe walks the chain of
 //!   blocked packets, and a confirmed cycle performs a coordinated
 //!   one-hop *spin*. Reactive; needs per-class virtual networks for

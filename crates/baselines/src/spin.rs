@@ -120,11 +120,9 @@ impl SpinMechanism {
             targets.clear();
             core.concrete_targets(c, vn, &mut targets);
             for &t in &targets {
-                if core.vc(t).occ.is_none() {
-                    // A free buffer exists: the packet is merely waiting on
-                    // link arbitration, not deadlocked.
-                    return None;
-                }
+                // A free (unoccupied) buffer means the packet is merely
+                // waiting on link arbitration, not deadlocked.
+                core.vc(t).occ?;
                 occupied.push(t);
             }
         }

@@ -1,4 +1,13 @@
 //! Closed-loop application comparisons (Figs 12, 13, 15).
+//!
+//! App runs are closed-loop (their runtime depends on the whole history),
+//! so unlike synthetic points they are not cached; they are still
+//! parallelised: [`app_jobs`] expands a figure's (scheme × app × seed)
+//! grid into independent [`AppJob`]s for
+//! [`SweepEngine::run_jobs`](crate::engine::SweepEngine::run_jobs), and
+//! [`average`] folds the per-seed results exactly like the serial
+//! [`run_app_averaged`] (bit-identical, since each job carries its own
+//! seed).
 
 use drain_netsim::RunOutcome;
 use drain_topology::{faults::FaultInjector, Topology};
@@ -19,6 +28,9 @@ pub struct AppRun {
     pub runtime: f64,
     /// Whether the run wedged (watchdog deadlock that never recovered).
     pub deadlocked: bool,
+    /// Cycles actually simulated (≤ the scale's budget; feeds
+    /// [`RunReport::sim_cycles`](crate::report::RunReport)).
+    pub cycles: u64,
 }
 
 /// Runs `scheme` on `app` over `topo` until the per-core quota completes.
@@ -52,10 +64,87 @@ pub fn run_app(
         p99: sim.stats().net_latency.p99(),
         runtime,
         deadlocked: sim.stats().watchdog_deadlock,
+        cycles: sim.core().cycle(),
     }
 }
 
-/// Averages runs over the scale's seeds and fault patterns.
+/// One independent closed-loop run: everything [`run_app`] needs,
+/// including the fault pattern, resolved from the figure's seed formula
+/// so a job can run on any worker thread.
+#[derive(Clone, Debug)]
+pub struct AppJob<'a> {
+    /// Evaluated scheme.
+    pub scheme: Scheme,
+    /// Application model.
+    pub app: &'a AppModel,
+    /// Fault-free base topology.
+    pub base: &'a Topology,
+    /// Links removed from `base` (0 = pristine).
+    pub faults: usize,
+    /// Simulation + fault-injection seed.
+    pub seed: u64,
+    /// Run-length policy.
+    pub scale: Scale,
+}
+
+impl AppJob<'_> {
+    /// Runs the job (builds the faulty topology locally).
+    pub fn run(&self) -> AppRun {
+        let topo = if self.faults == 0 {
+            self.base.clone()
+        } else {
+            FaultInjector::new(self.seed)
+                .remove_links(self.base, self.faults)
+                .unwrap()
+        };
+        run_app(
+            self.scheme,
+            &topo,
+            self.faults == 0,
+            self.app,
+            self.seed,
+            self.scale,
+        )
+    }
+}
+
+/// Expands one (scheme, app, fault count) cell into its per-seed jobs,
+/// using the same seed formula as [`run_app_averaged`].
+pub fn app_jobs<'a>(
+    scheme: Scheme,
+    base: &'a Topology,
+    faults: usize,
+    app: &'a AppModel,
+    scale: Scale,
+) -> Vec<AppJob<'a>> {
+    (0..scale.seeds())
+        .map(|s| AppJob {
+            scheme,
+            app,
+            base,
+            faults,
+            seed: (faults * 7919 + s) as u64 ^ 0xA44,
+            scale,
+        })
+        .collect()
+}
+
+/// Folds per-seed runs into the figure's cell: mean latency/runtime,
+/// worst-case p99, any-deadlock.
+pub fn average(runs: &[AppRun]) -> AppRun {
+    let n = runs.len().max(1) as f64;
+    AppRun {
+        latency: runs.iter().map(|r| r.latency).sum::<f64>() / n,
+        p99: runs.iter().map(|r| r.p99).max().unwrap_or(0),
+        runtime: runs.iter().map(|r| r.runtime).sum::<f64>() / n,
+        deadlocked: runs.iter().any(|r| r.deadlocked),
+        cycles: runs.iter().map(|r| r.cycles).sum(),
+    }
+}
+
+/// Averages runs over the scale's seeds and fault patterns, serially in
+/// the calling thread. The figures run the same jobs in parallel via
+/// [`app_jobs`] + [`average`]; both paths produce identical numbers.
 pub fn run_app_averaged(
     scheme: Scheme,
     base: &Topology,
@@ -63,30 +152,11 @@ pub fn run_app_averaged(
     app: &AppModel,
     scale: Scale,
 ) -> AppRun {
-    let mut lat = 0.0;
-    let mut p99 = 0u64;
-    let mut rt = 0.0;
-    let mut dl = false;
-    let seeds = scale.seeds();
-    for s in 0..seeds {
-        let seed = (faults * 7919 + s) as u64 ^ 0xA44;
-        let topo = if faults == 0 {
-            base.clone()
-        } else {
-            FaultInjector::new(seed).remove_links(base, faults).unwrap()
-        };
-        let r = run_app(scheme, &topo, faults == 0, app, seed, scale);
-        lat += r.latency;
-        p99 = p99.max(r.p99);
-        rt += r.runtime;
-        dl |= r.deadlocked;
-    }
-    AppRun {
-        latency: lat / seeds as f64,
-        p99,
-        runtime: rt / seeds as f64,
-        deadlocked: dl,
-    }
+    let runs: Vec<AppRun> = app_jobs(scheme, base, faults, app, scale)
+        .iter()
+        .map(AppJob::run)
+        .collect();
+    average(&runs)
 }
 
 #[cfg(test)]

@@ -7,42 +7,20 @@
 //! buffers; chiplet compositions are not deadlock-free even when every
 //! chiplet is. DRAIN covers both with one drain path and no restrictions.
 
-use drain_bench::sweep::{load_sweep, low_load_latency, mean, saturation_throughput};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
+use drain_bench::scheme::DrainVariant;
+use drain_bench::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
+use drain_bench::sweep::{low_load_latency, mean, saturation_throughput};
 use drain_bench::table::{banner, f1, f3, print_table};
 use drain_bench::{Scale, Scheme};
 use drain_netsim::traffic::SyntheticPattern;
-use drain_topology::chiplet::{demo_heterogeneous_system, random_connected};
-use drain_topology::Topology;
 
-fn compare_on(topo: &Topology, label: &str, scale: Scale, rows: &mut Vec<Vec<String>>) {
-    for scheme in [
-        Scheme::EscapeVc, // up*/down* escape on non-mesh topologies
-        Scheme::Spin,
-        Scheme::Drain(drain_bench::scheme::DrainVariant::Vn1Vc2),
-    ] {
-        let mut lats = Vec::new();
-        let mut sats = Vec::new();
-        for s in 0..scale.seeds() {
-            let pts = load_sweep(
-                scheme,
-                topo,
-                false, // never a full mesh here: escape VC uses up*/down*
-                &SyntheticPattern::UniformRandom,
-                s as u64,
-                Scheme::DEFAULT_EPOCH,
-                scale,
-            );
-            lats.push(low_load_latency(&pts));
-            sats.push(saturation_throughput(&pts));
-        }
-        rows.push(vec![
-            label.to_string(),
-            scheme.label().to_string(),
-            f1(mean(&lats)),
-            f3(mean(&sats)),
-        ]);
-    }
-}
+const SCHEMES: [Scheme; 3] = [
+    Scheme::EscapeVc, // up*/down* escape on non-mesh topologies
+    Scheme::Spin,
+    Scheme::Drain(DrainVariant::Vn1Vc2),
+];
 
 fn main() {
     let scale = Scale::from_env();
@@ -51,17 +29,73 @@ fn main() {
         "random topologies & chiplet composition (DRAIN vs escape VC vs SPIN)",
         scale,
     );
+    let mut engine = SweepEngine::new("disc_random", scale);
+    let topologies = [
+        (
+            TopoSpec::Random {
+                n: 32,
+                degree_milli: 3000,
+                seed: 11,
+            },
+            "random-32 (deg~3)",
+        ),
+        (
+            TopoSpec::Random {
+                n: 64,
+                degree_milli: 4000,
+                seed: 12,
+            },
+            "random-64 (deg~4)",
+        ),
+        (TopoSpec::Chiplet { seed: 13 }, "chiplet (4x4+3x3+ring6)"),
+    ];
+
+    let mut specs: Vec<PointSpec> = Vec::new();
+    for (topo, _) in &topologies {
+        for scheme in SCHEMES {
+            for s in 0..scale.seeds() {
+                specs.extend(load_sweep_specs(
+                    scheme,
+                    topo,
+                    &SyntheticPattern::UniformRandom,
+                    s as u64,
+                    Scheme::DEFAULT_EPOCH,
+                    scale,
+                ));
+            }
+        }
+    }
+    let points = engine.run_points(&specs);
+
+    let mut sweeps = points.chunks(scale.rate_sweep().len());
     let mut rows = Vec::new();
-    let random32 = random_connected(32, 3.0, 11);
-    compare_on(&random32, "random-32 (deg~3)", scale, &mut rows);
-    let random64 = random_connected(64, 4.0, 12);
-    compare_on(&random64, "random-64 (deg~4)", scale, &mut rows);
-    let chiplets = demo_heterogeneous_system(13);
-    compare_on(&chiplets, "chiplet (4x4+3x3+ring6)", scale, &mut rows);
+    for (_, label) in &topologies {
+        for scheme in SCHEMES {
+            let mut lats = Vec::new();
+            let mut sats = Vec::new();
+            for _s in 0..scale.seeds() {
+                let pts = sweeps.next().expect("grid order");
+                lats.push(low_load_latency(pts));
+                sats.push(saturation_throughput(pts));
+            }
+            rows.push(vec![
+                label.to_string(),
+                scheme.label().to_string(),
+                f1(mean(&lats)),
+                f3(mean(&sats)),
+            ]);
+        }
+    }
     print_table(
         "§VI — low-load latency (cycles) and saturation throughput (pkts/node/cycle)",
         &["topology", "scheme", "low-load latency", "sat. throughput"],
         &rows,
     );
+    write_csv(
+        "disc_random",
+        &["topology", "scheme", "low_load_latency", "sat_throughput"],
+        &rows,
+    );
     println!("\nPaper argument: DRAIN brings unrestricted adaptive routing to topologies where turn restrictions are costly to design, at one virtual network.");
+    engine.finish();
 }

@@ -6,11 +6,36 @@
 //! *wasted* (burned while buffers idle). The paper's takeaway — the vast
 //! majority of virtual-network power is wasted — should reproduce.
 
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::table::{banner, f1, pct, print_table};
 use drain_bench::{Scale, Scheme};
 use drain_power::{network_model, MechanismKind};
 use drain_topology::Topology;
-use drain_workloads::{ligra, parsec};
+use drain_workloads::{ligra, parsec, AppModel};
+
+/// Returns (active mW, wasted mW, cycles simulated) for one model.
+fn measure(app: &AppModel, scale: Scale) -> (f64, f64, u64) {
+    let (w, h) = match app.suite {
+        drain_workloads::Suite::Ligra => (8u16, 8u16),
+        _ => (4, 4),
+    };
+    let topo = Topology::mesh(w, h);
+    let mut sim =
+        Scheme::EscapeVc.coherence_sim(&topo, true, app, None, 11, Scheme::DEFAULT_EPOCH);
+    sim.run(scale.warmup() + scale.measure());
+    let cycles = sim.core().cycle();
+    let p = network_model(
+        &topo,
+        3,
+        2,
+        MechanismKind::EscapeVc,
+        sim.stats().flit_hops,
+        cycles,
+        1.0,
+    );
+    (p.active_mw, p.wasted_mw, cycles)
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -19,43 +44,22 @@ fn main() {
         "virtual-network power: active vs wasted (escape-VC 3-VNet config)",
         scale,
     );
-    let mut rows = Vec::new();
+    let mut engine = SweepEngine::new("fig04", scale);
     let apps: Vec<_> = parsec().into_iter().chain(ligra()).collect();
     let apps = match scale {
         Scale::Quick => apps.into_iter().take(6).collect::<Vec<_>>(),
         Scale::Full => apps,
     };
-    for app in apps {
-        let (w, h) = match app.suite {
-            drain_workloads::Suite::Ligra => (8u16, 8u16),
-            _ => (4, 4),
-        };
-        let topo = Topology::mesh(w, h);
-        let mut sim = Scheme::EscapeVc.coherence_sim(
-            &topo,
-            true,
-            &app,
-            None,
-            11,
-            Scheme::DEFAULT_EPOCH,
-        );
-        sim.run(scale.warmup() + scale.measure());
-        let cycles = sim.core().cycle();
-        let p = network_model(
-            &topo,
-            3,
-            2,
-            MechanismKind::EscapeVc,
-            sim.stats().flit_hops,
-            cycles,
-            1.0,
-        );
-        let total = p.active_mw + p.wasted_mw;
+    let results = engine.run_jobs(&apps, |app| measure(app, scale), |_, &(_, _, c)| c);
+
+    let mut rows = Vec::new();
+    for (app, &(active, wasted, _)) in apps.iter().zip(&results) {
+        let total = active + wasted;
         rows.push(vec![
             app.name.to_string(),
-            f1(p.active_mw),
-            f1(p.wasted_mw),
-            pct(p.wasted_mw / total),
+            f1(active),
+            f1(wasted),
+            pct(wasted / total),
         ]);
     }
     print_table(
@@ -63,5 +67,11 @@ fn main() {
         &["app", "active (mW)", "wasted (mW)", "wasted share"],
         &rows,
     );
+    write_csv(
+        "fig04",
+        &["app", "active_mw", "wasted_mw", "wasted_share"],
+        &rows,
+    );
     println!("\nPaper takeaway: the vast majority of virtual-network power is wasted.");
+    engine.finish();
 }

@@ -6,11 +6,13 @@
 //! average latency gap; up*/down* leaves most of the ideal throughput on
 //! the table at low fault counts; the two converge as faults increase).
 
-use drain_bench::sweep::{load_sweep, low_load_latency, mean, saturation_throughput};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
+use drain_bench::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
+use drain_bench::sweep::{low_load_latency, mean, saturation_throughput};
 use drain_bench::table::{banner, f1, f3, pct, print_table};
 use drain_bench::{Scale, Scheme};
 use drain_netsim::traffic::SyntheticPattern;
-use drain_topology::{faults::FaultInjector, Topology};
 
 fn main() {
     let scale = Scale::from_env();
@@ -19,31 +21,40 @@ fn main() {
         "up*/down* vs ideal fully adaptive (8x8 mesh, uniform random)",
         scale,
     );
-    let base = Topology::mesh(8, 8);
-    let mut rows = Vec::new();
-    let mut gaps = Vec::new();
-    for faults in [0usize, 1, 4, 8, 12] {
-        let mut lat = [Vec::new(), Vec::new()];
-        let mut sat = [Vec::new(), Vec::new()];
+    let mut engine = SweepEngine::new("fig05", scale);
+    let fault_counts = [0usize, 1, 4, 8, 12];
+    let schemes = [Scheme::UpDown, Scheme::Ideal];
+
+    let mut specs: Vec<PointSpec> = Vec::new();
+    for &faults in &fault_counts {
         for s in 0..scale.seeds() {
             let seed = (faults * 100 + s) as u64;
-            let topo = if faults == 0 {
-                base.clone()
-            } else {
-                FaultInjector::new(seed).remove_links(&base, faults).unwrap()
-            };
-            for (i, scheme) in [Scheme::UpDown, Scheme::Ideal].into_iter().enumerate() {
-                let pts = load_sweep(
+            let topo = TopoSpec::mesh_with_faults(8, 8, faults, seed);
+            for scheme in schemes {
+                specs.extend(load_sweep_specs(
                     scheme,
                     &topo,
-                    faults == 0,
                     &SyntheticPattern::UniformRandom,
                     seed,
                     Scheme::DEFAULT_EPOCH,
                     scale,
-                );
-                lat[i].push(low_load_latency(&pts));
-                sat[i].push(saturation_throughput(&pts));
+                ));
+            }
+        }
+    }
+    let points = engine.run_points(&specs);
+
+    let mut sweeps = points.chunks(scale.rate_sweep().len());
+    let mut rows = Vec::new();
+    let mut gaps = Vec::new();
+    for &faults in &fault_counts {
+        let mut lat = [Vec::new(), Vec::new()];
+        let mut sat = [Vec::new(), Vec::new()];
+        for _s in 0..scale.seeds() {
+            for (i, _scheme) in schemes.into_iter().enumerate() {
+                let pts = sweeps.next().expect("grid order");
+                lat[i].push(low_load_latency(pts));
+                sat[i].push(saturation_throughput(pts));
             }
         }
         let (l_ud, l_id) = (mean(&lat[0]), mean(&lat[1]));
@@ -59,19 +70,18 @@ fn main() {
             pct(s_ud / s_id),
         ]);
     }
-    print_table(
-        "Fig 5 — up*/down* vs ideal",
-        &[
-            "faults",
-            "lat up*/down*",
-            "lat ideal",
-            "lat gap",
-            "sat thpt up*/down*",
-            "sat thpt ideal",
-            "thpt fraction",
-        ],
-        &rows,
-    );
+    let header = [
+        "faults",
+        "lat up*/down*",
+        "lat ideal",
+        "lat gap",
+        "sat thpt up*/down*",
+        "sat thpt ideal",
+        "thpt fraction",
+    ];
+    print_table("Fig 5 — up*/down* vs ideal", &header, &rows);
+    write_csv("fig05", &header, &rows);
     println!("\nAverage latency gap: {}", pct(mean(&gaps)));
     println!("Paper: ~22% average latency gap (24% worst case); up*/down* reaches only a small fraction of ideal throughput at low fault counts, converging as faults grow.");
+    engine.finish();
 }

@@ -2,12 +2,14 @@
 //! and a regular topology, rendered as link sequences and per-router
 //! turn-tables.
 
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::table::banner;
 use drain_bench::Scale;
 use drain_path::DrainPath;
 use drain_topology::{faults::FaultInjector, Topology};
 
-fn describe(topo: &Topology, title: &str) {
+fn describe(topo: &Topology, title: &str) -> Vec<String> {
     let path = DrainPath::compute(topo).expect("connected topology");
     println!("\n## {title}");
     println!(
@@ -27,17 +29,31 @@ fn describe(topo: &Topology, title: &str) {
     println!("path: {}", hops.join(" "));
     path.verify(topo).expect("verified covering cycle");
     println!("verified: elementary cycle in the dependency graph covering all links ✓");
+    vec![
+        title.to_string(),
+        topo.num_nodes().to_string(),
+        topo.num_bidirectional_links().to_string(),
+        path.len().to_string(),
+    ]
 }
 
 fn main() {
     let scale = Scale::from_env();
     banner("Fig 6", "drain path examples (offline algorithm output)", scale);
+    let engine = SweepEngine::new("fig06", scale);
+    let mut rows = Vec::new();
     // Irregular: 4x4 mesh with 3 faulty links (like the paper's left
     // panel).
-    let irregular = FaultInjector::new(0xF16_6)
+    let irregular = FaultInjector::new(0xF166)
         .remove_links(&Topology::mesh(4, 4), 3)
         .unwrap();
-    describe(&irregular, "Irregular topology (4x4 mesh, 3 faulty links)");
+    rows.push(describe(&irregular, "Irregular topology (4x4 mesh, 3 faulty links)"));
     // Regular: full 4x4 mesh (the paper's right panel).
-    describe(&Topology::mesh(4, 4), "Regular topology (4x4 mesh)");
+    rows.push(describe(&Topology::mesh(4, 4), "Regular topology (4x4 mesh)"));
+    write_csv(
+        "fig06",
+        &["topology", "nodes", "bidirectional_links", "drain_path_length"],
+        &rows,
+    );
+    engine.finish();
 }

@@ -8,6 +8,8 @@
 //! along the offline drain path, after which adaptive routing delivers
 //! everything.
 
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::table::banner;
 use drain_bench::Scale;
 use drain_core::{DrainConfig, DrainMechanism};
@@ -19,7 +21,9 @@ use drain_path::DrainPath;
 use drain_topology::{chiplet::fig8_topology, NodeId};
 
 fn main() {
-    banner("Fig 8", "walk-through: drain removes two deadlock cycles", Scale::from_env());
+    let scale = Scale::from_env();
+    banner("Fig 8", "walk-through: drain removes two deadlock cycles", scale);
+    let engine = SweepEngine::new("fig08", scale);
     let topo = fig8_topology();
     println!(
         "\ntopology: 3x3 mesh, faulty link 2-5 removed ({} bidirectional links)",
@@ -115,4 +119,16 @@ fn main() {
     );
     assert_eq!(sim.stats().ejected, 8, "all packets must be delivered");
     println!("\nDraining for one hop successfully breaks both deadlocks (paper: 'In some cases, more than one drain window may be required').");
+    write_csv(
+        "fig08",
+        &["deadlocked_vcs_before", "drains", "forced_hops", "deadlocked_vcs_after", "delivered"],
+        &[vec![
+            report.deadlocked.len().to_string(),
+            sim.stats().drains.to_string(),
+            sim.stats().forced_hops.to_string(),
+            after.deadlocked.len().to_string(),
+            sim.stats().ejected.to_string(),
+        ]],
+    );
+    engine.finish();
 }

@@ -6,13 +6,17 @@
 //! its tiny epoch/turn-table control. Paper results: DRAIN saves ~72%
 //! area and ~77% router power.
 
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::table::{banner, f3, pct, print_table};
 use drain_bench::Scale;
 use drain_power::{network_model, MechanismKind};
 use drain_topology::Topology;
 
 fn main() {
-    banner("Fig 9", "router area & power normalized to escape VC", Scale::from_env());
+    let scale = Scale::from_env();
+    banner("Fig 9", "router area & power normalized to escape VC", scale);
+    let engine = SweepEngine::new("fig09", scale);
     let topo = Topology::mesh(8, 8);
     let esc = network_model(&topo, 3, 2, MechanismKind::EscapeVc, 0, 1, 1.0);
     let spin = network_model(&topo, 3, 1, MechanismKind::Spin, 0, 1, 1.0);
@@ -30,6 +34,7 @@ fn main() {
         &["scheme", "area (norm)", "static power (norm)"],
         &rows,
     );
+    write_csv("fig09", &["scheme", "area_norm", "static_power_norm"], &rows);
     println!(
         "\nDRAIN saves {} area and {} router power vs escape VC (paper: ~72% and ~77%).",
         pct(1.0 - drain.router_area_um2 / esc.router_area_um2),
@@ -41,4 +46,5 @@ fn main() {
         let basic = network_model(&topo, 1, 1, MechanismKind::None, 0, 1, 1.0);
         pct((with.router_area_um2 - without.router_area_um2) / basic.router_area_um2)
     });
+    engine.finish();
 }

@@ -4,52 +4,68 @@
 //! Paper shape: escape VCs lowest; SPIN highest; DRAIN matches SPIN on
 //! uniform random and is slightly lower on transpose.
 
-use drain_bench::sweep::{load_sweep, mean, saturation_throughput};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
+use drain_bench::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
+use drain_bench::sweep::{mean, saturation_throughput};
 use drain_bench::table::{banner, f3, print_table};
 use drain_bench::{Scale, Scheme};
 use drain_netsim::traffic::SyntheticPattern;
-use drain_topology::{faults::FaultInjector, Topology};
 
 fn main() {
     let scale = Scale::from_env();
-    banner(
-        "Fig 10",
-        "saturation throughput vs faults (8x8 mesh)",
-        scale,
-    );
-    let base = Topology::mesh(8, 8);
-    for pattern in [SyntheticPattern::UniformRandom, SyntheticPattern::Transpose] {
-        let mut rows = Vec::new();
-        for faults in [0usize, 1, 4, 8, 12] {
-            let mut per_scheme = Vec::new();
+    banner("Fig 10", "saturation throughput vs faults (8x8 mesh)", scale);
+    let mut engine = SweepEngine::new("fig10", scale);
+    let patterns = [SyntheticPattern::UniformRandom, SyntheticPattern::Transpose];
+    let fault_counts = [0usize, 1, 4, 8, 12];
+
+    // Expand the whole grid up front so the engine can fan every
+    // operating point across the workers at once.
+    let mut specs: Vec<PointSpec> = Vec::new();
+    for pattern in &patterns {
+        for &faults in &fault_counts {
             for scheme in Scheme::headline() {
-                let mut sats = Vec::new();
                 for s in 0..scale.seeds() {
                     let seed = (faults * 1000 + s) as u64;
-                    let topo = if faults == 0 {
-                        base.clone()
-                    } else {
-                        FaultInjector::new(seed).remove_links(&base, faults).unwrap()
-                    };
-                    let pts = load_sweep(
+                    let topo = TopoSpec::mesh_with_faults(8, 8, faults, seed);
+                    specs.extend(load_sweep_specs(
                         scheme,
                         &topo,
-                        faults == 0,
-                        &pattern,
+                        pattern,
                         seed,
                         Scheme::DEFAULT_EPOCH,
                         scale,
-                    );
-                    sats.push(saturation_throughput(&pts));
+                    ));
                 }
+            }
+        }
+    }
+    let points = engine.run_points(&specs);
+
+    // Walk the results back in grid order: each (pattern, faults, scheme,
+    // seed) cell owns one contiguous rate sweep.
+    let mut sweeps = points.chunks(scale.rate_sweep().len());
+    let mut csv_rows = Vec::new();
+    for pattern in &patterns {
+        let mut rows = Vec::new();
+        for &faults in &fault_counts {
+            let mut per_scheme = Vec::new();
+            for _scheme in Scheme::headline() {
+                let sats: Vec<f64> = (0..scale.seeds())
+                    .map(|_| saturation_throughput(sweeps.next().expect("grid order")))
+                    .collect();
                 per_scheme.push(mean(&sats));
             }
-            rows.push(vec![
+            let cells = vec![
                 faults.to_string(),
                 f3(per_scheme[0]),
                 f3(per_scheme[1]),
                 f3(per_scheme[2]),
-            ]);
+            ];
+            let mut csv = vec![pattern.name().to_string()];
+            csv.extend(cells.iter().cloned());
+            csv_rows.push(csv);
+            rows.push(cells);
         }
         print_table(
             &format!(
@@ -60,5 +76,11 @@ fn main() {
             &rows,
         );
     }
+    write_csv(
+        "fig10",
+        &["pattern", "faults", "escapevc", "spin", "drain_vn1vc2"],
+        &csv_rows,
+    );
     println!("\nPaper shape: EscapeVC lowest; DRAIN ≈ SPIN on uniform random, slightly below SPIN on transpose.");
+    engine.finish();
 }

@@ -5,50 +5,67 @@
 //! up*/down* escape forces non-minimal paths); latency rises with faults
 //! for all schemes.
 
-use drain_bench::sweep::{mean, measure_point};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
+use drain_bench::sweep::mean;
+use drain_bench::sweep::plan::{PointSpec, TopoSpec};
 use drain_bench::table::{banner, f1, print_table};
 use drain_bench::{Scale, Scheme};
 use drain_netsim::traffic::SyntheticPattern;
-use drain_topology::{faults::FaultInjector, Topology};
 
 fn main() {
     let scale = Scale::from_env();
     banner("Fig 11", "low-load latency vs faults (8x8 mesh)", scale);
-    let base = Topology::mesh(8, 8);
+    let mut engine = SweepEngine::new("fig11", scale);
     let low_rate = 0.02;
-    for pattern in [SyntheticPattern::UniformRandom, SyntheticPattern::Transpose] {
-        let mut rows = Vec::new();
-        for faults in [0usize, 1, 4, 8, 12] {
-            let mut per_scheme = Vec::new();
+    let patterns = [SyntheticPattern::UniformRandom, SyntheticPattern::Transpose];
+    let fault_counts = [0usize, 1, 4, 8, 12];
+
+    // One low-load point per (pattern, faults, scheme, seed) cell — no
+    // rate sweep needed for this figure.
+    let mut specs: Vec<PointSpec> = Vec::new();
+    for pattern in &patterns {
+        for &faults in &fault_counts {
             for scheme in Scheme::headline() {
-                let mut lats = Vec::new();
                 for s in 0..scale.seeds() {
                     let seed = (faults * 1000 + s) as u64 ^ 0x11;
-                    let topo = if faults == 0 {
-                        base.clone()
-                    } else {
-                        FaultInjector::new(seed).remove_links(&base, faults).unwrap()
-                    };
-                    let p = measure_point(
+                    let topo = TopoSpec::mesh_with_faults(8, 8, faults, seed);
+                    specs.push(PointSpec::new(
                         scheme,
-                        &topo,
-                        faults == 0,
-                        &pattern,
+                        topo,
+                        pattern.clone(),
                         low_rate,
                         seed,
-                        Scheme::DEFAULT_EPOCH,
                         scale,
-                    );
-                    lats.push(p.latency);
+                    ));
                 }
+            }
+        }
+    }
+    let points = engine.run_points(&specs);
+
+    let mut next = points.iter();
+    let mut csv_rows = Vec::new();
+    for pattern in &patterns {
+        let mut rows = Vec::new();
+        for &faults in &fault_counts {
+            let mut per_scheme = Vec::new();
+            for _scheme in Scheme::headline() {
+                let lats: Vec<f64> = (0..scale.seeds())
+                    .map(|_| next.next().expect("grid order").latency)
+                    .collect();
                 per_scheme.push(mean(&lats));
             }
-            rows.push(vec![
+            let cells = vec![
                 faults.to_string(),
                 f1(per_scheme[0]),
                 f1(per_scheme[1]),
                 f1(per_scheme[2]),
-            ]);
+            ];
+            let mut csv = vec![pattern.name().to_string()];
+            csv.extend(cells.iter().cloned());
+            csv_rows.push(csv);
+            rows.push(cells);
         }
         print_table(
             &format!(
@@ -60,5 +77,11 @@ fn main() {
             &rows,
         );
     }
+    write_csv(
+        "fig11",
+        &["pattern", "faults", "escapevc", "spin", "drain_vn1vc2"],
+        &csv_rows,
+    );
     println!("\nPaper shape: DRAIN ≈ SPIN, both below EscapeVC; all rise with faults.");
+    engine.finish();
 }

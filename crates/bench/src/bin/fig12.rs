@@ -6,7 +6,9 @@
 //! shows higher packet latency (1/3 of the baselines' VCs) without hurting
 //! runtime.
 
-use drain_bench::apps::run_app_averaged;
+use drain_bench::apps::{app_jobs, average, AppJob, AppRun};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::scheme::DrainVariant;
 use drain_bench::table::{banner, f3, print_table};
 use drain_bench::{Scale, Scheme};
@@ -16,29 +18,54 @@ use drain_workloads::ligra;
 fn main() {
     let scale = Scale::from_env();
     banner("Fig 12", "Ligra models: latency & runtime normalized to EscapeVC (8x8)", scale);
+    let mut engine = SweepEngine::new("fig12", scale);
     let base = Topology::mesh(8, 8);
     let apps = match scale {
         Scale::Quick => ligra().into_iter().take(3).collect::<Vec<_>>(),
         Scale::Full => ligra(),
     };
+    // EscapeVC first: every cell is normalized against it.
     let schemes = [
+        Scheme::EscapeVc,
         Scheme::Spin,
         Scheme::Drain(DrainVariant::Vn3Vc2),
         Scheme::Drain(DrainVariant::Vn1Vc6),
         Scheme::Drain(DrainVariant::Vn1Vc2),
     ];
+    let mut csv_rows = Vec::new();
     for faults in [0usize, 8] {
+        let mut jobs: Vec<AppJob> = Vec::new();
+        for app in &apps {
+            for s in schemes {
+                jobs.extend(app_jobs(s, &base, faults, app, scale));
+            }
+        }
+        let runs = engine.run_jobs(&jobs, AppJob::run, |_, r: &AppRun| r.cycles);
+
+        let mut cells = runs.chunks(scale.seeds()).map(average);
         let mut lat_rows = Vec::new();
         let mut rt_rows = Vec::new();
         for app in &apps {
-            let esc = run_app_averaged(Scheme::EscapeVc, &base, faults, app, scale);
+            let esc = cells.next().expect("grid order");
             let mut lat_row = vec![app.name.to_string()];
             let mut rt_row = vec![app.name.to_string()];
-            for s in schemes {
-                let r = run_app_averaged(s, &base, faults, app, scale);
+            for _s in &schemes[1..] {
+                let r = cells.next().expect("grid order");
                 lat_row.push(f3(r.latency / esc.latency));
                 rt_row.push(f3(r.runtime / esc.runtime));
             }
+            csv_rows.push(
+                [faults.to_string(), "latency".into()]
+                    .into_iter()
+                    .chain(lat_row.iter().cloned())
+                    .collect(),
+            );
+            csv_rows.push(
+                [faults.to_string(), "runtime".into()]
+                    .into_iter()
+                    .chain(rt_row.iter().cloned())
+                    .collect(),
+            );
             lat_rows.push(lat_row);
             rt_rows.push(rt_row);
         }
@@ -60,5 +87,11 @@ fn main() {
             &rt_rows,
         );
     }
+    write_csv(
+        "fig12",
+        &["faults", "metric", "app", "spin", "drain_vn3vc2", "drain_vn1vc6", "drain_vn1vc2"],
+        &csv_rows,
+    );
     println!("\nPaper shape: DRAIN ≈ SPIN; VN-1,VC-2 latency is higher (1/3 the VCs) but runtime is unharmed.");
+    engine.finish();
 }

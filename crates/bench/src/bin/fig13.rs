@@ -1,7 +1,9 @@
 //! Fig 13: PARSEC + SPLASH-2 workload models on a 16-node mesh — packet
 //! latency and runtime normalized to escape VCs, 0 and 8 faults.
 
-use drain_bench::apps::run_app_averaged;
+use drain_bench::apps::{app_jobs, average, AppJob, AppRun};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::scheme::DrainVariant;
 use drain_bench::table::{banner, f3, print_table};
 use drain_bench::{Scale, Scheme};
@@ -15,6 +17,7 @@ fn main() {
         "PARSEC/SPLASH-2 models: latency & runtime normalized to EscapeVC (4x4)",
         scale,
     );
+    let mut engine = SweepEngine::new("fig13", scale);
     let base = Topology::mesh(4, 4);
     let mut apps = parsec();
     apps.extend(splash2());
@@ -22,24 +25,48 @@ fn main() {
         Scale::Quick => apps.into_iter().take(4).collect::<Vec<_>>(),
         Scale::Full => apps,
     };
+    // EscapeVC first: every cell is normalized against it.
     let schemes = [
+        Scheme::EscapeVc,
         Scheme::Spin,
         Scheme::Drain(DrainVariant::Vn3Vc2),
         Scheme::Drain(DrainVariant::Vn1Vc6),
         Scheme::Drain(DrainVariant::Vn1Vc2),
     ];
+    let mut csv_rows = Vec::new();
     for faults in [0usize, 8] {
+        let mut jobs: Vec<AppJob> = Vec::new();
+        for app in &apps {
+            for s in schemes {
+                jobs.extend(app_jobs(s, &base, faults, app, scale));
+            }
+        }
+        let runs = engine.run_jobs(&jobs, AppJob::run, |_, r: &AppRun| r.cycles);
+
+        let mut cells = runs.chunks(scale.seeds()).map(average);
         let mut lat_rows = Vec::new();
         let mut rt_rows = Vec::new();
         for app in &apps {
-            let esc = run_app_averaged(Scheme::EscapeVc, &base, faults, app, scale);
+            let esc = cells.next().expect("grid order");
             let mut lat_row = vec![app.name.to_string()];
             let mut rt_row = vec![app.name.to_string()];
-            for s in schemes {
-                let r = run_app_averaged(s, &base, faults, app, scale);
+            for _s in &schemes[1..] {
+                let r = cells.next().expect("grid order");
                 lat_row.push(f3(r.latency / esc.latency));
                 rt_row.push(f3(r.runtime / esc.runtime));
             }
+            csv_rows.push(
+                [faults.to_string(), "latency".into()]
+                    .into_iter()
+                    .chain(lat_row.iter().cloned())
+                    .collect(),
+            );
+            csv_rows.push(
+                [faults.to_string(), "runtime".into()]
+                    .into_iter()
+                    .chain(rt_row.iter().cloned())
+                    .collect(),
+            );
             lat_rows.push(lat_row);
             rt_rows.push(rt_row);
         }
@@ -61,5 +88,11 @@ fn main() {
             &rt_rows,
         );
     }
+    write_csv(
+        "fig13",
+        &["faults", "metric", "app", "spin", "drain_vn3vc2", "drain_vn1vc6", "drain_vn1vc2"],
+        &csv_rows,
+    );
     println!("\nPaper shape: DRAIN ≈ SPIN across apps; default DRAIN trades packet latency, not runtime.");
+    engine.finish();
 }

@@ -6,70 +6,48 @@
 //! misrouting; latency falls and throughput rises monotonically with the
 //! epoch; draining more than one hop per window never helps.
 
-use drain_bench::sweep::{load_sweep, low_load_latency, saturation_throughput};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
+use drain_bench::scheme::DrainVariant;
+use drain_bench::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
+use drain_bench::sweep::{low_load_latency, saturation_throughput};
 use drain_bench::table::{banner, f1, f3, print_table};
 use drain_bench::{Scale, Scheme};
-use drain_core::{DrainConfig, DrainMechanism};
-use drain_netsim::routing::FullyAdaptive;
-use drain_netsim::traffic::{SyntheticPattern, SyntheticTraffic};
-use drain_netsim::{Sim, SimConfig};
-use drain_path::DrainPath;
-use drain_topology::Topology;
-
-fn drain_sim_with(topo: &Topology, epoch: u64, hops: u32, rate: f64, seed: u64) -> Sim {
-    let path = DrainPath::compute(topo).unwrap();
-    let mech = DrainMechanism::new(
-        path,
-        DrainConfig {
-            epoch,
-            hops_per_drain: hops,
-            ..DrainConfig::default()
-        },
-    );
-    let mut cfg = SimConfig::drain_default();
-    cfg.num_classes = 1;
-    cfg.watchdog_threshold = 0;
-    cfg.seed = seed;
-    Sim::new(
-        topo.clone(),
-        cfg,
-        Box::new(FullyAdaptive::new(topo)),
-        Box::new(mech),
-        Box::new(SyntheticTraffic::new(
-            SyntheticPattern::UniformRandom,
-            rate,
-            1,
-            seed ^ 0x14,
-        )),
-    )
-}
+use drain_netsim::traffic::SyntheticPattern;
 
 fn main() {
     let scale = Scale::from_env();
     banner("Fig 14", "epoch sensitivity (uniform random, 8x8)", scale);
-    let topo = Topology::mesh(8, 8);
+    let mut engine = SweepEngine::new("fig14", scale);
+    let drain = Scheme::Drain(DrainVariant::Vn1Vc2);
+    let topo = TopoSpec::Mesh { w: 8, h: 8 };
     let epochs: &[u64] = &[16, 64, 256, 1_024, 4_096, 16_384, 65_536];
+
+    // One full load sweep per epoch; the lowest swept rate (2%) doubles
+    // as the low-load latency measurement.
+    let specs: Vec<PointSpec> = epochs
+        .iter()
+        .flat_map(|&epoch| {
+            load_sweep_specs(
+                drain,
+                &topo,
+                &SyntheticPattern::UniformRandom,
+                7,
+                epoch,
+                scale,
+            )
+        })
+        .collect();
+    let points = engine.run_points(&specs);
+
+    let mut sweeps = points.chunks(scale.rate_sweep().len());
     let mut rows = Vec::new();
     for &epoch in epochs {
-        // Low-load latency at 2% injection.
-        let mut sim = drain_sim_with(&topo, epoch, 1, 0.02, 7);
-        sim.warmup_and_measure(scale.warmup(), scale.measure());
-        let lat = sim.stats().net_latency.mean();
-        // Saturation: sweep rates using the harness.
-        let pts = load_sweep(
-            Scheme::Drain(drain_bench::scheme::DrainVariant::Vn1Vc2),
-            &topo,
-            true,
-            &SyntheticPattern::UniformRandom,
-            7,
-            epoch,
-            scale,
-        );
-        let _ = low_load_latency(&pts);
+        let pts = sweeps.next().expect("grid order");
         rows.push(vec![
             epoch.to_string(),
-            f1(lat),
-            f3(saturation_throughput(&pts)),
+            f1(low_load_latency(pts)),
+            f3(saturation_throughput(pts)),
         ]);
     }
     print_table(
@@ -77,22 +55,48 @@ fn main() {
         &["epoch (cycles)", "low-load latency", "saturation throughput"],
         &rows,
     );
+    write_csv(
+        "fig14",
+        &["epoch_cycles", "low_load_latency", "saturation_throughput"],
+        &rows,
+    );
 
-    // Ablation: hops per drain window (paper footnote 3: >1 always worse).
+    // Ablation: hops per drain window (paper footnote 3: >1 always
+    // worse). Needs the forced-hops counter, which a cached Point does
+    // not carry, so these run as plain jobs.
+    let built = topo.build();
+    let hop_settings = [1u32, 2, 4];
+    let results = engine.run_jobs(
+        &hop_settings,
+        |&hops| {
+            let mut sim = drain.synthetic_sim_hops(
+                &built,
+                true,
+                SyntheticPattern::UniformRandom,
+                0.02,
+                9,
+                1_024,
+                hops,
+            );
+            sim.warmup_and_measure(scale.warmup(), scale.measure());
+            (sim.stats().net_latency.mean(), sim.stats().forced_hops)
+        },
+        |_, _| scale.warmup() + scale.measure(),
+    );
     let mut rows = Vec::new();
-    for hops in [1u32, 2, 4] {
-        let mut sim = drain_sim_with(&topo, 1_024, hops, 0.02, 9);
-        sim.warmup_and_measure(scale.warmup(), scale.measure());
-        rows.push(vec![
-            hops.to_string(),
-            f1(sim.stats().net_latency.mean()),
-            sim.stats().forced_hops.to_string(),
-        ]);
+    for (&hops, &(lat, forced)) in hop_settings.iter().zip(&results) {
+        rows.push(vec![hops.to_string(), f1(lat), forced.to_string()]);
     }
     print_table(
         "Fig 14 ablation — hops per drain window (epoch 1024, 2% load)",
         &["hops/drain", "low-load latency", "forced hops"],
         &rows,
     );
+    write_csv(
+        "fig14_ablation",
+        &["hops_per_drain", "low_load_latency", "forced_hops"],
+        &rows,
+    );
     println!("\nPaper shape: frequent draining (16-cycle epoch) hurts both metrics; draining is best done rarely; one hop per window wins.");
+    engine.finish();
 }

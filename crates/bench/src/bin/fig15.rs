@@ -5,7 +5,9 @@
 //! close to the baselines; only the smallest configuration (VN-1, VC-2)
 //! shows a modest p99 increase on the most memory-intensive apps.
 
-use drain_bench::apps::run_app_averaged;
+use drain_bench::apps::{app_jobs, average, AppJob, AppRun};
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::scheme::DrainVariant;
 use drain_bench::table::{banner, print_table};
 use drain_bench::{Scale, Scheme};
@@ -15,6 +17,7 @@ use drain_workloads::{ligra, parsec};
 fn main() {
     let scale = Scale::from_env();
     banner("Fig 15", "99th-percentile packet latency (application models)", scale);
+    let mut engine = SweepEngine::new("fig15", scale);
     let schemes = [
         Scheme::EscapeVc,
         Scheme::Spin,
@@ -22,7 +25,6 @@ fn main() {
         Scheme::Drain(DrainVariant::Vn1Vc6),
         Scheme::Drain(DrainVariant::Vn1Vc2),
     ];
-    let mut rows = Vec::new();
     let parsec_apps = match scale {
         Scale::Quick => parsec().into_iter().take(3).collect::<Vec<_>>(),
         Scale::Full => parsec(),
@@ -33,27 +35,39 @@ fn main() {
     };
     let mesh16 = Topology::mesh(4, 4);
     let mesh64 = Topology::mesh(8, 8);
-    for (apps, topo) in [(parsec_apps, &mesh16), (ligra_apps, &mesh64)] {
+    let suites = [(parsec_apps, &mesh16), (ligra_apps, &mesh64)];
+
+    let mut jobs: Vec<AppJob> = Vec::new();
+    for (apps, topo) in &suites {
+        for app in apps {
+            for s in schemes {
+                jobs.extend(app_jobs(s, topo, 0, app, scale));
+            }
+        }
+    }
+    let runs = engine.run_jobs(&jobs, AppJob::run, |_, r: &AppRun| r.cycles);
+
+    let mut cells = runs.chunks(scale.seeds()).map(average);
+    let mut rows = Vec::new();
+    for (apps, _topo) in &suites {
         for app in apps {
             let mut row = vec![app.name.to_string()];
-            for s in schemes {
-                let r = run_app_averaged(s, topo, 0, &app, scale);
-                row.push(r.p99.to_string());
+            for _s in schemes {
+                row.push(cells.next().expect("grid order").p99.to_string());
             }
             rows.push(row);
         }
     }
-    print_table(
-        "Fig 15 — p99 network latency (cycles)",
-        &[
-            "app",
-            "EscapeVC",
-            "SPIN",
-            "DRAIN VN-3,VC-2",
-            "DRAIN VN-1,VC-6",
-            "DRAIN VN-1,VC-2",
-        ],
-        &rows,
-    );
+    let header = [
+        "app",
+        "EscapeVC",
+        "SPIN",
+        "DRAIN VN-3,VC-2",
+        "DRAIN VN-1,VC-6",
+        "DRAIN VN-1,VC-2",
+    ];
+    print_table("Fig 15 — p99 network latency (cycles)", &header, &rows);
+    write_csv("fig15", &header, &rows);
     println!("\nPaper shape: tail latency impact of infrequent draining is small; only VN-1,VC-2 on memory-intensive apps shows a modest increase.");
+    engine.finish();
 }

@@ -4,9 +4,13 @@
 //! with each cell backed by where in this repository the property is
 //! demonstrated (a test or an experiment binary).
 
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::table::print_table;
+use drain_bench::Scale;
 
 fn main() {
+    let engine = SweepEngine::new("table1", Scale::from_env());
     let header = [
         "Solution",
         "Type",
@@ -68,4 +72,6 @@ fn main() {
         &header,
         &rows,
     );
+    write_csv("table1", &header, &rows);
+    engine.finish();
 }

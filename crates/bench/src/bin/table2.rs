@@ -1,11 +1,15 @@
 //! Table II: key simulation parameters, printed from the live defaults so
 //! the table can never drift from the code.
 
+use drain_bench::engine::SweepEngine;
+use drain_bench::report::write_csv;
 use drain_bench::table::print_table;
+use drain_bench::Scale;
 use drain_core::DrainConfig;
 use drain_netsim::SimConfig;
 
 fn main() {
+    let engine = SweepEngine::new("table2", Scale::from_env());
     let base = SimConfig::default();
     let drain = SimConfig::drain_default();
     let dcfg = DrainConfig::default();
@@ -66,4 +70,6 @@ fn main() {
         ],
     ];
     print_table("Table II — key simulation parameters", &["Parameter", "Value"], &rows);
+    write_csv("table2", &["parameter", "value"], &rows);
+    engine.finish();
 }

@@ -1,0 +1,255 @@
+//! The harness's experiment/metrics contract: every figure binary emits a
+//! machine-readable CSV of its table **and** a [`RunReport`] JSON with
+//! run-level metrics, next to each other under `results/`.
+//!
+//! For figure `figNN` the artifacts are:
+//!
+//! * `results/figNN.csv` — the figure's rows, exactly the values printed
+//!   in the markdown table;
+//! * `results/figNN.run.json` — the [`RunReport`] (see field docs for
+//!   units).
+//!
+//! The output directory is `results/` under the working directory, or
+//! `DRAIN_RESULTS_DIR` when set.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::json::{self, Json};
+
+/// Output directory for figure artifacts (`DRAIN_RESULTS_DIR` or
+/// `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var("DRAIN_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Run-level metrics for one figure invocation.
+///
+/// Field units:
+///
+/// * `total_points` / `simulated` / `cache_hits` — operating points:
+///   `total_points = simulated + cache_hits`; for figures that fan out
+///   non-cacheable jobs (application models), those jobs count as
+///   `simulated`.
+/// * `sim_cycles` — total *simulated* network cycles across all simulated
+///   jobs (warmup + measurement windows; 0 for analytic figures).
+/// * `wall_secs` — end-to-end wall-clock seconds for the figure.
+/// * `busy_secs` — sum of per-job wall-clock seconds across workers
+///   (`busy_secs / wall_secs` ≈ effective parallel speedup).
+/// * `sim_cycles_per_sec` — `sim_cycles / wall_secs`.
+/// * `points_per_sec` — `total_points / wall_secs`.
+/// * `max_point_wall_ms` / `mean_point_wall_ms` — per-job wall-clock
+///   milliseconds over simulated jobs (0 when everything was cached).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Figure name (`fig10`, `table1`, …).
+    pub figure: String,
+    /// Scale label (`quick` / `full`).
+    pub scale: String,
+    /// Worker threads the engine used.
+    pub threads: usize,
+    /// Total operating points requested.
+    pub total_points: usize,
+    /// Points actually simulated this run.
+    pub simulated: usize,
+    /// Points served from the result cache.
+    pub cache_hits: usize,
+    /// Simulated cycles across simulated jobs.
+    pub sim_cycles: u64,
+    /// End-to-end wall-clock seconds.
+    pub wall_secs: f64,
+    /// Summed per-job wall-clock seconds.
+    pub busy_secs: f64,
+    /// Simulation throughput (cycles/second of wall time).
+    pub sim_cycles_per_sec: f64,
+    /// Point throughput (points/second of wall time).
+    pub points_per_sec: f64,
+    /// Slowest single job (milliseconds).
+    pub max_point_wall_ms: f64,
+    /// Mean job duration (milliseconds).
+    pub mean_point_wall_ms: f64,
+}
+
+impl RunReport {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("figure", Json::Str(self.figure.clone())),
+            ("scale", Json::Str(self.scale.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("total_points", Json::Num(self.total_points as f64)),
+            ("simulated", Json::Num(self.simulated as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("sim_cycles", Json::Num(self.sim_cycles as f64)),
+            ("wall_secs", json::num(self.wall_secs)),
+            ("busy_secs", json::num(self.busy_secs)),
+            ("sim_cycles_per_sec", json::num(self.sim_cycles_per_sec)),
+            ("points_per_sec", json::num(self.points_per_sec)),
+            ("max_point_wall_ms", json::num(self.max_point_wall_ms)),
+            ("mean_point_wall_ms", json::num(self.mean_point_wall_ms)),
+        ])
+        .to_string()
+    }
+
+    /// Writes `results/<figure>.run.json`; returns the path. IO errors
+    /// are reported to stderr and swallowed (artifacts are best-effort).
+    pub fn write(&self) -> Option<PathBuf> {
+        self.write_in(&results_dir())
+    }
+
+    /// [`RunReport::write`] into an explicit directory.
+    pub fn write_in(&self, dir: &std::path::Path) -> Option<PathBuf> {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {dir:?}: {e}");
+            return None;
+        }
+        let path = dir.join(format!("{}.run.json", self.figure));
+        match fs::write(&path, self.to_json()) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {path:?}: {e}");
+                None
+            }
+        }
+    }
+
+    /// One-line human summary (printed at the end of each figure).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} points ({} simulated, {} cached) on {} threads in {:.2}s — {:.2e} sim-cycles/s, speedup ~{:.1}x",
+            self.figure,
+            self.total_points,
+            self.simulated,
+            self.cache_hits,
+            self.threads,
+            self.wall_secs,
+            self.sim_cycles_per_sec,
+            if self.wall_secs > 0.0 {
+                self.busy_secs / self.wall_secs
+            } else {
+                0.0
+            },
+        )
+    }
+}
+
+/// Writes `results/<name>.csv` with the same rows a figure prints as
+/// markdown. Cells containing commas/quotes/newlines are quoted per RFC
+/// 4180. Returns the path (best-effort, like [`RunReport::write`]).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
+    write_csv_in(&results_dir(), name, header, rows)
+}
+
+/// [`write_csv`] into an explicit directory.
+pub fn write_csv_in(
+    dir: &std::path::Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> Option<PathBuf> {
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return None;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&csv_row(header.iter().map(|s| s.to_string()).collect::<Vec<_>>().as_slice()));
+    for row in rows {
+        out.push_str(&csv_row(row));
+    }
+    match fs::write(&path, out) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {path:?}: {e}");
+            None
+        }
+    }
+}
+
+fn csv_row(cells: &[String]) -> String {
+    let escaped: Vec<String> = cells.iter().map(|c| csv_cell(c)).collect();
+    format!("{}\n", escaped.join(","))
+}
+
+fn csv_cell(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            figure: "figtest".into(),
+            scale: "quick".into(),
+            threads: 4,
+            total_points: 10,
+            simulated: 6,
+            cache_hits: 4,
+            sim_cycles: 66_000,
+            wall_secs: 2.0,
+            busy_secs: 6.0,
+            sim_cycles_per_sec: 33_000.0,
+            points_per_sec: 5.0,
+            max_point_wall_ms: 900.0,
+            mean_point_wall_ms: 600.0,
+        }
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        let v = crate::json::parse(&report().to_json()).unwrap();
+        assert_eq!(v.get("figure").unwrap().as_str(), Some("figtest"));
+        assert_eq!(v.get("cache_hits").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("sim_cycles").unwrap().as_u64(), Some(66_000));
+        assert_eq!(v.get("wall_secs").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn summary_mentions_cache_and_speedup() {
+        let s = report().summary();
+        assert!(s.contains("4 cached"), "{s}");
+        assert!(s.contains("~3.0x"), "{s}");
+    }
+
+    #[test]
+    fn csv_cells_escape_specials() {
+        assert_eq!(csv_cell("plain"), "plain");
+        assert_eq!(csv_cell("a,b"), "\"a,b\"");
+        assert_eq!(csv_cell("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn csv_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("drain-csv-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_csv_in(
+            &dir,
+            "unit",
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()], vec!["2".into(), "z".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,\"x,y\"\n2,z\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_report_write_in_creates_named_file() {
+        let dir = std::env::temp_dir().join(format!("drain-report-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = report().write_in(&dir).unwrap();
+        assert!(path.ends_with("figtest.run.json"));
+        let v = crate::json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(v.get("total_points").unwrap().as_u64(), Some(10));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

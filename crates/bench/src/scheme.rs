@@ -83,6 +83,7 @@ impl Scheme {
     /// via `epoch` for the Fig 14 sweep).
     pub const DEFAULT_EPOCH: u64 = 65_536;
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         self,
         topo: &Topology,
@@ -90,6 +91,7 @@ impl Scheme {
         endpoints: Box<dyn Endpoints>,
         mut config: SimConfig,
         epoch: u64,
+        hops_per_drain: u32,
         seed: u64,
     ) -> Sim {
         config.seed = seed;
@@ -100,6 +102,7 @@ impl Scheme {
                     path,
                     DrainConfig {
                         epoch,
+                        hops_per_drain,
                         ..DrainConfig::default()
                     },
                 );
@@ -158,6 +161,23 @@ impl Scheme {
         seed: u64,
         epoch: u64,
     ) -> Sim {
+        self.synthetic_sim_hops(topo, full_mesh, pattern, rate, seed, epoch, 1)
+    }
+
+    /// [`Scheme::synthetic_sim`] with an explicit hops-per-drain-window
+    /// setting (the Fig 14 footnote-3 ablation; every other experiment
+    /// uses the paper's 1 hop per window).
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthetic_sim_hops(
+        self,
+        topo: &Topology,
+        full_mesh: bool,
+        pattern: SyntheticPattern,
+        rate: f64,
+        seed: u64,
+        epoch: u64,
+        hops_per_drain: u32,
+    ) -> Sim {
         let traffic = SyntheticTraffic::new(pattern, rate, 1, seed ^ 0x7AFF1C);
         self.build(
             topo,
@@ -165,6 +185,7 @@ impl Scheme {
             Box::new(traffic),
             self.synthetic_config(),
             epoch,
+            hops_per_drain,
             seed,
         )
     }
@@ -202,7 +223,7 @@ impl Scheme {
             },
             Box::new(trace),
         );
-        self.build(topo, full_mesh, Box::new(engine), config, epoch, seed)
+        self.build(topo, full_mesh, Box::new(engine), config, epoch, 1, seed)
     }
 }
 

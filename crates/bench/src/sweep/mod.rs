@@ -1,4 +1,13 @@
 //! Load–latency sweeps and saturation-throughput search.
+//!
+//! [`measure_point`] is the primitive every synthetic figure builds on;
+//! [`plan`] expands figure grids into independent [`plan::PointSpec`] jobs
+//! for the parallel [`crate::engine::SweepEngine`]. The serial entry
+//! points here and the engine share the same measurement code, so the two
+//! paths produce bit-identical [`Point`]s (asserted by the
+//! `parallel_sweep_determinism` integration test).
+
+pub mod plan;
 
 use drain_netsim::traffic::SyntheticPattern;
 use drain_topology::Topology;
@@ -13,13 +22,15 @@ pub struct Point {
     pub offered: f64,
     /// Accepted (received) throughput (packets/node/cycle).
     pub throughput: f64,
-    /// Mean network latency over the measurement window (cycles).
+    /// Mean network latency over the measurement window (cycles); NaN when
+    /// no packet was delivered in the window.
     pub latency: f64,
     /// 99th-percentile network latency (cycles).
     pub p99: u64,
 }
 
 /// Measures one operating point: warmup, then a measurement window.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_point(
     scheme: Scheme,
     topo: &Topology,
@@ -30,7 +41,32 @@ pub fn measure_point(
     epoch: u64,
     scale: Scale,
 ) -> Point {
-    let mut sim = scheme.synthetic_sim(topo, full_mesh, pattern.clone(), rate, seed, epoch);
+    measure_point_hops(scheme, topo, full_mesh, pattern, rate, seed, epoch, 1, scale)
+}
+
+/// [`measure_point`] with an explicit hops-per-drain-window setting (the
+/// Fig 14 ablation).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_point_hops(
+    scheme: Scheme,
+    topo: &Topology,
+    full_mesh: bool,
+    pattern: &SyntheticPattern,
+    rate: f64,
+    seed: u64,
+    epoch: u64,
+    hops_per_drain: u32,
+    scale: Scale,
+) -> Point {
+    let mut sim = scheme.synthetic_sim_hops(
+        topo,
+        full_mesh,
+        pattern.clone(),
+        rate,
+        seed,
+        epoch,
+        hops_per_drain,
+    );
     sim.warmup_and_measure(scale.warmup(), scale.measure());
     let now = sim.core().cycle();
     let s = sim.stats();
@@ -42,7 +78,9 @@ pub fn measure_point(
     }
 }
 
-/// Full load sweep for one (scheme, topology, pattern, seed).
+/// Full load sweep for one (scheme, topology, pattern, seed), run
+/// serially in the calling thread. The parallel equivalent is
+/// [`crate::engine::SweepEngine::load_sweep`].
 pub fn load_sweep(
     scheme: Scheme,
     topo: &Topology,

@@ -1,0 +1,100 @@
+//! Regression tests for the parallel sweep engine's two core guarantees:
+//!
+//! 1. parallel execution is bit-identical to serial execution, and
+//! 2. a warm cache rerun simulates nothing and returns identical points.
+
+use drain_bench::engine::SweepEngine;
+use drain_bench::cache::ResultCache;
+use drain_bench::sweep;
+use drain_bench::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
+use drain_bench::{Scale, Scheme};
+use drain_netsim::traffic::SyntheticPattern;
+
+/// The fig10-style grid this test sweeps: one scheme on a 4×4 mesh with
+/// two different fault patterns.
+fn grid() -> Vec<(TopoSpec, u64)> {
+    vec![
+        (TopoSpec::mesh_with_faults(4, 4, 2, 41), 41),
+        (TopoSpec::mesh_with_faults(4, 4, 2, 42), 42),
+    ]
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let pattern = SyntheticPattern::UniformRandom;
+
+    // Serial reference: the plain sweep::load_sweep path, one thread, no
+    // engine, no cache.
+    let mut serial = Vec::new();
+    for (topo, seed) in grid() {
+        serial.extend(sweep::load_sweep(
+            Scheme::Spin,
+            &topo.build(),
+            topo.full_mesh(),
+            &pattern,
+            seed,
+            Scheme::DEFAULT_EPOCH,
+            Scale::Quick,
+        ));
+    }
+
+    // Parallel run: same grid through the engine on several workers.
+    let specs: Vec<PointSpec> = grid()
+        .into_iter()
+        .flat_map(|(topo, seed)| {
+            load_sweep_specs(
+                Scheme::Spin,
+                &topo,
+                &pattern,
+                seed,
+                Scheme::DEFAULT_EPOCH,
+                Scale::Quick,
+            )
+        })
+        .collect();
+    let mut engine = SweepEngine::with("determinism", Scale::Quick, 4, ResultCache::disabled());
+    let parallel = engine.run_points(&specs);
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep must be point-for-point identical to serial"
+    );
+}
+
+#[test]
+fn warm_cache_rerun_runs_zero_simulations() {
+    let dir = std::env::temp_dir().join(format!(
+        "drain-determinism-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let specs: Vec<PointSpec> = grid()
+        .into_iter()
+        .flat_map(|(topo, seed)| {
+            load_sweep_specs(
+                Scheme::Spin,
+                &topo,
+                &SyntheticPattern::Neighbor,
+                seed,
+                Scheme::DEFAULT_EPOCH,
+                Scale::Quick,
+            )
+        })
+        .collect();
+
+    let mut cold = SweepEngine::with("detcold", Scale::Quick, 2, ResultCache::at(&dir));
+    let first = cold.run_points(&specs);
+    let cold_report = cold.report();
+    assert_eq!(cold_report.simulated, specs.len());
+    assert_eq!(cold_report.cache_hits, 0);
+
+    let mut warm = SweepEngine::with("detwarm", Scale::Quick, 2, ResultCache::at(&dir));
+    let second = warm.run_points(&specs);
+    let warm_report = warm.report();
+    assert_eq!(warm_report.simulated, 0, "warm rerun must simulate nothing");
+    assert_eq!(warm_report.cache_hits, specs.len());
+    assert_eq!(first, second, "cached points must round-trip bit-identically");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,7 +11,7 @@ use drain_netsim::{MessageClass, SimCore};
 use drain_topology::NodeId;
 
 use crate::msg::{Addr, CohMsg, MsgType};
-use crate::node::{DirCommit, DirEntry, DirState, LineState, MissKind, Mshr, NodeState, Tbe};
+use crate::node::{DirCommit, DirState, LineState, MissKind, Mshr, NodeState, Tbe};
 use crate::trace::MemoryTrace;
 
 /// Which coherence protocol the engine runs.
@@ -607,7 +607,7 @@ impl CoherenceEngine {
         let e = self.nodes[node.index()]
             .dir
             .entry(addr)
-            .or_insert_with(DirEntry::new);
+            .or_default();
         e.state = state;
         e.sharers = sharers;
     }
@@ -667,10 +667,11 @@ impl CoherenceEngine {
             line => {
                 // Miss (or an S/O-state store upgrade). Make room first.
                 let upgrade = matches!(line, Some(LineState::S) | Some(LineState::O));
-                if !upgrade && ns.lines.len() >= self.config.l1_capacity {
-                    if !self.evict_one(core, node) {
-                        return; // cannot evict now; retry next cycle
-                    }
+                if !upgrade
+                    && ns.lines.len() >= self.config.l1_capacity
+                    && !self.evict_one(core, node)
+                {
+                    return; // cannot evict now; retry next cycle
                 }
                 let ns = &mut self.nodes[node.index()];
                 ns.mshrs.insert(

@@ -60,9 +60,10 @@ pub struct Mshr {
 }
 
 /// Directory entry stable states.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum DirState {
     /// Not cached anywhere (or silently dropped by sharers).
+    #[default]
     I,
     /// Cached read-only by the sharer set.
     S,
@@ -71,7 +72,7 @@ pub enum DirState {
 }
 
 /// A directory entry: stable state plus sharer bitmap.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DirEntry {
     /// Stable state.
     pub state: DirState,
@@ -82,10 +83,7 @@ pub struct DirEntry {
 impl DirEntry {
     /// Fresh entry in state I.
     pub fn new() -> Self {
-        DirEntry {
-            state: DirState::I,
-            sharers: 0,
-        }
+        DirEntry::default()
     }
 
     /// Number of sharers excluding `but`.
@@ -103,12 +101,6 @@ impl DirEntry {
                 None
             }
         })
-    }
-}
-
-impl Default for DirEntry {
-    fn default() -> Self {
-        Self::new()
     }
 }
 

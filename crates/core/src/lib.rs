@@ -206,7 +206,7 @@ impl Mechanism for DrainMechanism {
                     return ControlAction::Freeze;
                 }
                 let full = self.config.full_drain_period > 0
-                    && (self.windows_done + 1) % self.config.full_drain_period == 0;
+                    && (self.windows_done + 1).is_multiple_of(self.config.full_drain_period);
                 let steps = if full {
                     self.path.len() as u64
                 } else {

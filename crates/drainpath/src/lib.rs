@@ -26,7 +26,8 @@
 //!   fidelity tests on small graphs.
 //!
 //! The result is wrapped in a [`DrainPath`], which also carries the
-//! [`TurnTable`] each router consults while draining.
+//! [`TurnTable`] each router consults while draining (paper Fig 7; the
+//! drain windows themselves are §III-C, implemented in `drain-core`).
 //!
 //! # Examples
 //!

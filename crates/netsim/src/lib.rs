@@ -6,18 +6,24 @@
 //! flow control, per-class injection/ejection queues, pluggable routing
 //! functions and pluggable deadlock-freedom mechanisms.
 //!
-//! Structure:
+//! Structure (with the paper sections each module reproduces):
 //!
-//! * [`SimConfig`] — Table II parameters.
+//! * [`SimConfig`] — the Table II parameters (§V-A methodology).
 //! * [`state::SimCore`] — buffers, queues, timers, allocation engine.
 //! * [`Sim`] — the per-cycle driver (endpoints → mechanism → allocation).
-//! * [`routing`] — DoR, up*/down*, fully-adaptive, escape-VC composite.
+//!   `Sim` is `Send`; the bench crate's parallel sweep engine runs whole
+//!   simulations on worker threads.
+//! * [`routing`] — DoR, up*/down* (§II baselines, Fig 5), fully-adaptive,
+//!   escape-VC composite.
 //! * [`traffic`] — synthetic patterns and trace replay ([`traffic::Endpoints`]
 //!   is also implemented by the MESI engine in `drain-coherence`).
-//! * [`mechanism`] — the deadlock-freedom hook DRAIN/SPIN plug into.
-//! * [`deadlock`] — the structural wait-for-graph oracle (instrumentation).
+//! * [`mechanism`] — the deadlock-freedom hook DRAIN (§III-C drain
+//!   windows) and SPIN plug into.
+//! * [`deadlock`] — the structural wait-for-graph oracle backing the §II-A
+//!   deadlock-likelihood study (Fig 3) and the §V evaluation's
+//!   deadlock-detection instrumentation.
 //! * [`stats`] — latency histograms (mean/p99), throughput windows, event
-//!   counters.
+//!   counters (the §V metrics: Figs 10–15).
 //!
 //! # Examples
 //!

@@ -25,12 +25,26 @@ pub enum RunOutcome {
 }
 
 /// A complete simulation: state + mechanism + endpoints.
+///
+/// `Sim` is `Send` (every plugin trait — [`Mechanism`], [`Endpoints`],
+/// [`crate::routing::Routing`] — requires `Send`), so whole simulations
+/// can be handed to worker threads; the experiment harness's parallel
+/// sweep engine relies on this.
 pub struct Sim {
     core: SimCore,
     mechanism: Box<dyn Mechanism>,
     endpoints: Box<dyn Endpoints>,
     stop_on_deadlock: bool,
 }
+
+// Compile-time audit of the `Send` guarantee documented above: building a
+// `Sim` on one thread and running it on another is what the bench crate's
+// worker pool does on every job.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Sim>();
+    assert_send::<Stats>();
+};
 
 impl Sim {
     /// Assembles a simulation.

@@ -42,7 +42,7 @@ pub struct VcRef {
 }
 
 /// State of one VC buffer.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct VcState {
     /// Occupying packet, if any.
     pub occ: Option<PacketId>,
@@ -52,17 +52,6 @@ pub struct VcState {
     pub free_at: u64,
     /// Cycle the current occupant arrived (for timeout counters).
     pub entered_at: u64,
-}
-
-impl Default for VcState {
-    fn default() -> Self {
-        VcState {
-            occ: None,
-            ready_at: 0,
-            free_at: 0,
-            entered_at: 0,
-        }
-    }
 }
 
 /// Outcome info for a delivered packet, handed to ejection-queue consumers.

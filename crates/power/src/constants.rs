@@ -61,6 +61,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn sram_leak_dominates_xbar_per_bit() {
         assert!(SRAM_LEAK_PER_BIT_MW > XBAR_LEAK_PER_BIT_MW);
         assert!(SRAM_AREA_PER_BIT_UM2 > XBAR_AREA_PER_BIT_UM2);

@@ -168,7 +168,7 @@ mod tests {
             for b in t.nodes() {
                 let (ax, ay) = t.coord(a).unwrap();
                 let (bx, by) = t.coord(b).unwrap();
-                let manhattan = (ax.abs_diff(bx) + ay.abs_diff(by)) as u16;
+                let manhattan = ax.abs_diff(bx) + ay.abs_diff(by);
                 assert_eq!(d.distance(a, b), manhattan);
             }
         }

@@ -6,19 +6,20 @@
 //! higher layers (the drain-path algorithm, the network simulator, the
 //! baselines) are built on these types.
 //!
-//! Key pieces:
+//! Key pieces (with the paper sections each module serves):
 //!
 //! * [`Topology`] — the graph itself, with builders for regular meshes,
 //!   tori, rings, arbitrary edge lists, random connected graphs and
-//!   multi-chiplet compositions.
+//!   multi-chiplet compositions (the §VI discussion topologies).
 //! * [`faults`] — connectivity-preserving random link-failure injection,
-//!   reproducing the paper's methodology of evaluating irregular topologies
+//!   reproducing the §V-A methodology of evaluating irregular topologies
 //!   derived from an 8×8/4×4 mesh by removing links.
 //! * [`depgraph`] — the channel-dependency graph (nodes = unidirectional
-//!   links, edges = turns, including U-turns) used by the offline drain-path
-//!   search.
+//!   links, edges = turns, including U-turns) that the §III-B offline
+//!   drain-path search runs over.
 //! * [`updown`] — up*/down* spanning-tree labeling and legal-turn routing
-//!   tables for the escape-VC baseline on irregular topologies.
+//!   tables for the §II baselines (Fig 5, escape VCs on irregular
+//!   topologies).
 //! * [`distance`] — all-pairs BFS distances, diameter and next-hop sets for
 //!   minimal adaptive routing.
 //!

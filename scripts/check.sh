@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo-wide static checks: lint the whole workspace (warnings are errors)
+# and make sure the rustdoc for every crate still builds.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "All checks passed."

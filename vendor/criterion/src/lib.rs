@@ -1,0 +1,263 @@
+//! Offline vendored stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Implements the subset the `drain-bench` benchmarks use — benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], `bench_function` /
+//! `bench_with_input`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with plain wall-clock timing: per benchmark it warms up, runs
+//! `sample_size` samples, and prints min/median/mean nanoseconds per
+//! iteration (plus elements/second when a throughput was declared).
+//! There is no statistical regression machinery and nothing is written to
+//! `target/criterion`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Compatibility no-op (upstream parses CLI filters here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, 100, None, f);
+        self
+    }
+
+    /// Compatibility no-op (upstream prints the final summary here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. simulated cycles) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterised benchmarks.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// A group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`: one untimed warmup call, then `sample_size` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnOnce(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples — closure never called iter)");
+        return;
+    }
+    let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
+    ns.sort_unstable();
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if median > 0 => {
+            format!("  ({:.2e} elems/s)", n as f64 / (median as f64 * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} min {} / median {} / mean {}{rate}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6, "warmup + 5 samples");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2)
+            .throughput(Throughput::Elements(10))
+            .bench_with_input(BenchmarkId::new("x", 1), &3u32, |b, &v| {
+                b.iter(|| v + 1);
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

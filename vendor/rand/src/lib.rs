@@ -1,0 +1,309 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8-compatible subset).
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand`'s API it actually uses:
+//!
+//! * [`RngCore`] — the raw generator interface (`next_u32`/`next_u64`/
+//!   `fill_bytes`);
+//! * [`SeedableRng`] — seeding, including the `seed_from_u64` PCG-style
+//!   seed expansion matching `rand_core` 0.6 so seeds stay meaningful;
+//! * [`Rng`] — the ergonomic extension trait (`gen`, `gen_range`,
+//!   `gen_bool`);
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! Determinism is the only hard requirement for the DRAIN reproduction:
+//! every simulator RNG is seeded explicitly, and all results in this
+//! repository are defined relative to this implementation. No
+//! cryptographic claims are made.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod seq;
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed material (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from exact seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the same PCG32 expansion used
+    /// by `rand_core` 0.6, so `seed_from_u64(s)` produces the same
+    /// generator the real crate would.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod sample {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A type that can be drawn uniformly from the "standard" distribution:
+    /// `u32`/`u64` over their full range, `f64`/`f32` in `[0, 1)`,
+    /// `bool` fair.
+    pub trait Standard: Sized {
+        /// Draws one value.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 uniform bits into [0, 1), as in rand's Standard for f64.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    /// A type with a uniform sampler over half-open/closed intervals.
+    ///
+    /// Mirrors upstream `rand::distributions::uniform::SampleUniform` so
+    /// that [`SampleRange`] can be a *blanket* impl over `Range<T>` /
+    /// `RangeInclusive<T>` — which is what lets integer-literal ranges
+    /// (`rng.gen_range(0..256)`) infer their type from surrounding
+    /// arithmetic exactly like the real crate.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Draws from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+        fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+            -> Self;
+    }
+
+    macro_rules! impl_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self, hi: Self, inclusive: bool, rng: &mut R,
+                ) -> Self {
+                    // Modulo bias over a 64-bit draw is ≤ 2^-40 for every
+                    // span this workspace uses; Lemire mapping is overkill.
+                    let span = (hi as u64) - (lo as u64) + inclusive as u64;
+                    if span == 0 {
+                        // Inclusive full u64 domain wrapped to 0.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self, hi: Self, inclusive: bool, rng: &mut R,
+                ) -> Self {
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64 + inclusive as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self, hi: Self, _inclusive: bool, rng: &mut R,
+                ) -> Self {
+                    let u = <$t>::sample_standard(rng);
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    impl_uniform_float!(f32, f64);
+
+    /// A range that can be sampled uniformly (`gen_range` argument).
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics when the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample empty range");
+            T::sample_between(lo, hi, true, rng)
+        }
+    }
+}
+
+pub use sample::{SampleRange, SampleUniform, Standard};
+
+/// Ergonomic random-value methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution for `T`
+    /// (`u32`/`u64` full-range, `f64`/`f32` in `[0, 1)`, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic generator for the tests below.
+    struct SplitMix(u64);
+    impl RngCore for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = SplitMix(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SplitMix(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(5u16..9);
+            assert!((5..9).contains(&a));
+            let b = rng.gen_range(2usize..=2);
+            assert_eq!(b, 2);
+            let c = rng.gen_range(-3i32..3);
+            assert!((-3..3).contains(&c));
+            let d = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SplitMix(11);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix(13);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SplitMix(1);
+        let _ = rng.gen_range(4u32..4);
+    }
+}

@@ -39,6 +39,7 @@ pub mod apps;
 pub mod cache;
 pub mod engine;
 pub mod json;
+pub mod oracle;
 pub mod report;
 pub mod runner;
 pub mod scale;

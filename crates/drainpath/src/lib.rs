@@ -192,6 +192,14 @@ impl DrainPath {
         self.position[l.index()] as usize
     }
 
+    /// Test-only fault seeding: corrupts the turn-table entry for `from`
+    /// (see [`TurnTable::corrupt_entry_for_tests`]), leaving the circuit
+    /// untouched. Used by the fuzz harness's `--seed-fault` mode to prove
+    /// the runtime invariant checker catches a broken drain table.
+    pub fn corrupt_turn_for_tests(&mut self, from: LinkId, to: LinkId) {
+        self.turn_table.corrupt_entry_for_tests(from, to);
+    }
+
     /// Re-verifies this path against a topology.
     ///
     /// # Errors

@@ -78,6 +78,15 @@ impl TurnTable {
             .collect()
     }
 
+    /// Test-only fault seeding: overwrites `from`'s successor with `to`,
+    /// deliberately breaking the permutation/pivot properties so the
+    /// runtime invariant checker's detection path can be exercised
+    /// end-to-end (the fuzz harness's `--seed-fault` mode). Never call
+    /// this outside fault-injection tests.
+    pub fn corrupt_entry_for_tests(&mut self, from: LinkId, to: LinkId) {
+        self.next[from.index()] = to;
+    }
+
     /// Validates the permutation property: every link appears exactly once
     /// as a successor.
     pub fn is_permutation(&self) -> bool {

@@ -24,6 +24,10 @@
 //!   deadlock-detection instrumentation.
 //! * [`stats`] — latency histograms (mean/p99), throughput windows, event
 //!   counters (the §V metrics: Figs 10–15).
+//! * [`check`] — opt-in runtime invariant checks (conservation, VC
+//!   occupancy, reachability, forward progress, forced-move validity) and
+//!   the delivery-fingerprint recorder behind the differential oracle in
+//!   the bench crate.
 //!
 //! # Examples
 //!
@@ -54,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod config;
 pub mod deadlock;
 pub mod mechanism;
@@ -64,6 +69,7 @@ pub mod state;
 pub mod stats;
 pub mod traffic;
 
+pub use check::{CheckConfig, PacketFingerprint, RecordingEndpoints, Violation, ViolationKind};
 pub use config::SimConfig;
 pub use packet::{Location, MessageClass, Packet, PacketId};
 pub use sim::{RunOutcome, Sim};

@@ -146,6 +146,13 @@ impl PacketSlab {
         self.slots[id.0 as usize].as_ref().expect("packet id not live")
     }
 
+    /// Shared access to a packet, or `None` if `id` is not live (used by
+    /// the invariant checker to report dangling ids instead of panicking).
+    #[inline]
+    pub fn try_get(&self, id: PacketId) -> Option<&Packet> {
+        self.slots.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
     /// Mutable access to a live packet.
     ///
     /// # Panics

@@ -4,6 +4,7 @@
 //! control (drain/spin/freeze decisions) → network allocation → watchdog &
 //! detector instrumentation.
 
+use crate::check::{self, Violation};
 use crate::deadlock;
 use crate::mechanism::{ControlAction, Mechanism};
 use crate::state::SimCore;
@@ -22,6 +23,9 @@ pub enum RunOutcome {
     /// A deadlock was observed (structural detector or watchdog) and the
     /// run was configured to stop on deadlock.
     Deadlocked,
+    /// A runtime invariant check failed and the run was configured not to
+    /// panic; the report is available via [`Sim::violation`].
+    InvariantViolation,
 }
 
 /// A complete simulation: state + mechanism + endpoints.
@@ -35,6 +39,7 @@ pub struct Sim {
     mechanism: Box<dyn Mechanism>,
     endpoints: Box<dyn Endpoints>,
     stop_on_deadlock: bool,
+    violation: Option<Violation>,
 }
 
 // Compile-time audit of the `Send` guarantee documented above: building a
@@ -64,6 +69,7 @@ impl Sim {
             mechanism,
             endpoints,
             stop_on_deadlock: false,
+            violation: None,
         }
     }
 
@@ -110,16 +116,58 @@ impl Sim {
         self.core.stats.open_window(c);
     }
 
+    /// The first invariant violation observed, when the run was configured
+    /// not to panic ([`crate::check::CheckConfig::no_panic`]).
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violation.as_ref()
+    }
+
     /// Advances the simulation by one cycle.
+    ///
+    /// With [`crate::check::CheckConfig`] flags enabled, forced
+    /// permutations are validated before they are applied and the whole
+    /// core is re-checked at the end of the cycle. A violation panics with
+    /// a replayable report, or — with
+    /// [`crate::check::CheckConfig::no_panic`] — is recorded and freezes
+    /// the simulation (further steps are no-ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`Violation`] report when a check fails and
+    /// `panic_on_violation` is set (the default for enabled checks).
     pub fn step(&mut self) {
+        if self.violation.is_some() {
+            return;
+        }
         self.endpoints.pre_cycle(&mut self.core);
         match self.mechanism.control(&mut self.core) {
             ControlAction::Normal => self.core.allocate_and_move(),
             ControlAction::Freeze => {}
-            ControlAction::Forced(moves, kind) => self.core.apply_forced(&moves, kind),
+            ControlAction::Forced(moves, kind) => {
+                if self.core.config().checks.forced_moves {
+                    if let Err(v) = check::validate_forced(&self.core, &moves) {
+                        self.fail(v);
+                        return;
+                    }
+                }
+                self.core.apply_forced(&moves, kind)
+            }
         }
         self.instrument();
+        if self.core.config().checks.any_per_cycle() {
+            if let Err(v) = check::run_checks(&self.core) {
+                self.fail(v);
+                return;
+            }
+        }
         self.core.advance_cycle();
+    }
+
+    fn fail(&mut self, v: Violation) {
+        if self.core.config().checks.panic_on_violation {
+            panic!("{v}");
+        }
+        self.violation = Some(v);
     }
 
     fn instrument(&mut self) {
@@ -151,6 +199,9 @@ impl Sim {
         let end = self.core.cycle() + cycles;
         while self.core.cycle() < end {
             self.step();
+            if self.violation.is_some() {
+                return RunOutcome::InvariantViolation;
+            }
             if self.stop_on_deadlock && self.core.stats.deadlocked() {
                 return RunOutcome::Deadlocked;
             }

@@ -189,6 +189,12 @@ impl SimCore {
         self.packets.get(id)
     }
 
+    /// Shared access to a packet, or `None` if `id` is not live (used by
+    /// the invariant checker to diagnose dangling ids gracefully).
+    pub fn try_packet(&self, id: PacketId) -> Option<&Packet> {
+        self.packets.try_get(id)
+    }
+
     /// Iterator over all VC references of the network.
     pub fn vc_refs(&self) -> impl Iterator<Item = VcRef> + '_ {
         let vns = self.config.vns as u8;
@@ -224,6 +230,37 @@ impl SimCore {
     /// not yet consumed by the endpoint model).
     pub fn ejection_backlog(&self) -> usize {
         self.ej.iter().map(VecDeque::len).sum()
+    }
+
+    /// Packet ids waiting in a node's per-class injection queue, head
+    /// first (invariant checker and diagnostics).
+    pub fn injection_queue(
+        &self,
+        node: NodeId,
+        class: MessageClass,
+    ) -> impl Iterator<Item = PacketId> + '_ {
+        self.inj[self.qidx(node, class)].iter().copied()
+    }
+
+    /// Packet ids parked in a node's per-class ejection queue, head first
+    /// (invariant checker and diagnostics).
+    pub fn ejection_queue(
+        &self,
+        node: NodeId,
+        class: MessageClass,
+    ) -> impl Iterator<Item = PacketId> + '_ {
+        self.ej[self.qidx(node, class)].iter().copied()
+    }
+
+    /// Iterator over `(id, packet)` for every live packet, wherever it is
+    /// (queues or network).
+    pub fn live_packet_iter(&self) -> impl Iterator<Item = (PacketId, &Packet)> {
+        self.packets.iter()
+    }
+
+    /// Cycle until which `l` is serializing a packet (busy).
+    pub fn link_busy_until(&self, l: LinkId) -> u64 {
+        self.link_busy[l.index()]
     }
 
     /// Whether the per-class ejection queue has room for one more packet.

@@ -99,6 +99,9 @@ pub struct SyntheticTraffic {
     /// Injection stops after this cycle (drain-out phase); `u64::MAX` =
     /// never.
     stop_at: u64,
+    /// Sequence number stamped into each packet's `tag` so deliveries can
+    /// be fingerprinted uniquely (differential oracle).
+    seq: u64,
 }
 
 impl SyntheticTraffic {
@@ -111,6 +114,7 @@ impl SyntheticTraffic {
             len_flits,
             rng: ChaCha8Rng::seed_from_u64(seed),
             stop_at: u64::MAX,
+            seq: 0,
         }
     }
 
@@ -152,7 +156,8 @@ impl Endpoints for SyntheticTraffic {
                 continue;
             }
             if let Some(dest) = self.pattern.dest(core.topology(), node, &mut self.rng) {
-                core.try_enqueue_packet(node, dest, MessageClass::REQUEST, self.len_flits, 0);
+                self.seq += 1;
+                core.try_enqueue_packet(node, dest, MessageClass::REQUEST, self.len_flits, self.seq);
             }
         }
     }

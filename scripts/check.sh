@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Repo-wide static checks: lint the whole workspace (warnings are errors)
-# and make sure the rustdoc for every crate still builds.
+# Repo-wide checks: lint the whole workspace (warnings are errors), make
+# sure the rustdoc for every crate still builds, run the test suite, and
+# finish with a short invariant/differential-oracle fuzz smoke (fails on
+# any violation; see EXPERIMENTS.md "Invariant checking & fuzzing").
 #
 # Usage: scripts/check.sh
 set -euo pipefail
@@ -11,5 +13,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc --workspace --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> drain-fuzz smoke (invariants + differential oracle)"
+cargo build --release -p drain-bench --bin drain_fuzz --quiet
+./target/release/drain_fuzz --smoke --json results/drain_fuzz_smoke.json
+./target/release/drain_fuzz --smoke --seed-fault \
+    --json results/drain_fuzz_smoke_fault.json
 
 echo "All checks passed."

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use drain_repro::netsim::CheckConfig;
 use drain_repro::path::{Algorithm, DrainPath};
 use drain_repro::prelude::*;
 use drain_repro::topology::chiplet::random_connected;
@@ -45,6 +46,22 @@ proptest! {
         let b = DrainPath::compute_with(&topo, Algorithm::HawickJames).unwrap();
         prop_assert_eq!(a.len(), b.len());
         prop_assert!(b.verify(&topo).is_ok());
+    }
+
+    #[test]
+    fn offline_algorithms_produce_identical_turn_tables(topo in arb_topology()) {
+        // Stronger than agreeing on coverage: both offline algorithms must
+        // install the *same* next-hop permutation at every router, so a
+        // deployment can switch algorithms without changing behaviour.
+        let a = DrainPath::compute_with(&topo, Algorithm::Hierholzer).unwrap();
+        let b = DrainPath::compute_with(&topo, Algorithm::HawickJames).unwrap();
+        for l in topo.link_ids() {
+            prop_assert!(
+                a.next_link(l) == b.next_link(l),
+                "turn tables diverge at link {}",
+                l.index()
+            );
+        }
     }
 
     #[test]
@@ -96,11 +113,19 @@ proptest! {
 
     #[test]
     fn short_drain_sim_conserves_packets(
+        topo in arb_topology(),
         seed in any::<u64>(),
         rate in 0.01f64..0.2,
     ) {
-        let topo = Topology::mesh(4, 4);
+        // Full runtime invariant checks ride along (panic-on-violation, so
+        // any conservation/occupancy/reachability breach fails the case
+        // with a replayable seed), on arbitrary irregular topologies.
         let mut sim = DrainNetworkBuilder::new(topo)
+            .sim_config(SimConfig {
+                num_classes: 1,
+                checks: CheckConfig::full().with_progress_horizon(4_096),
+                ..SimConfig::drain_default()
+            })
             .epoch(512)
             .injection_rate(rate)
             .seed(seed)

@@ -26,7 +26,7 @@
 
 use drain_netsim::mechanism::{ControlAction, ForcedKind, ForcedMove, Mechanism};
 use drain_netsim::routing::RouteCtx;
-use drain_netsim::{SimCore, VcRef};
+use drain_netsim::{SimCore, TraceEvent, VcRef};
 
 /// SPIN parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -212,6 +212,20 @@ impl Mechanism for SpinMechanism {
             .expect("probe path is never empty");
         let choice = self.rotation;
         core.stats.probe_hops += 1;
+        if core.trace_enabled() {
+            let router = core.topology().link(cur.link).dst.0;
+            let len = self
+                .probe
+                .as_ref()
+                .expect("checked above")
+                .path
+                .len() as u32;
+            core.trace_emit(TraceEvent::Probe {
+                cycle: now,
+                router,
+                len,
+            });
+        }
         let Some(next) = self.wait_target(core, cur, choice) else {
             // The chain can progress: no deadlock here.
             self.probe = None;
@@ -224,6 +238,12 @@ impl Mechanism for SpinMechanism {
             self.probe = None;
             self.freeze_left = core.config().max_packet_flits() as u64;
             let moves = Self::spin_moves(&cycle);
+            if core.trace_enabled() {
+                core.trace_emit(TraceEvent::Spin {
+                    cycle: now,
+                    moves: moves.len() as u32,
+                });
+            }
             return ControlAction::Forced(moves, ForcedKind::Spin);
         }
         if probe.path.len() >= self.config.max_probe_len {

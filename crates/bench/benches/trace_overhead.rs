@@ -1,0 +1,48 @@
+//! Observability overhead: simulator cycles/second with tracing disabled
+//! (the default; must stay within ~2% of the pre-observability kernel),
+//! with event capture into the null-sink ring buffer, and with telemetry
+//! sampling — all on the same 8×8 DRAIN point as `sim_kernel`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drain_bench::scheme::DrainVariant;
+use drain_bench::Scheme;
+use drain_netsim::traffic::SyntheticPattern;
+use drain_netsim::TraceConfig;
+use drain_topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::mesh(8, 8);
+    let scheme = Scheme::Drain(DrainVariant::Vn1Vc2);
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    const CYCLES: u64 = 5_000;
+    g.throughput(Throughput::Elements(CYCLES));
+
+    let variants: [(&str, TraceConfig); 3] = [
+        ("disabled", TraceConfig::default()),
+        ("ring-null", TraceConfig::events_on()),
+        ("telemetry-256", TraceConfig::default().with_telemetry(256)),
+    ];
+    for (name, cfg) in variants {
+        g.bench_with_input(BenchmarkId::new("cycles", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sim = scheme.synthetic_sim_traced(
+                    &topo,
+                    true,
+                    SyntheticPattern::UniformRandom,
+                    0.08,
+                    1,
+                    Scheme::DEFAULT_EPOCH,
+                    1,
+                    cfg.clone(),
+                );
+                sim.run(CYCLES);
+                sim.stats().ejected
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -95,6 +95,7 @@ fn gen_point(i: usize, base_seed: u64, inject_cycles: u64, fault: FaultSeed) -> 
         inject_cycles,
         drain_budget: 150_000,
         baseline: Baseline::EscapeVc,
+        flightrec_dir: None,
     };
     if fault != FaultSeed::None {
         // A sabotaged turn-table is only *observable* when a drain window
@@ -134,6 +135,13 @@ fn point_json(p: &FuzzPoint, r: &OracleReport, ok: bool) -> Json {
                 ("cycle", num(v.cycle as f64)),
                 ("replay_seed", num(v.seed as f64)),
                 ("detail", Json::Str(v.detail.clone())),
+                (
+                    "flight_record",
+                    leg.flight_record
+                        .as_ref()
+                        .map(|p| Json::Str(p.display().to_string()))
+                        .unwrap_or(Json::Null),
+                ),
             ]));
         }
     }
@@ -229,10 +237,19 @@ fn main() {
         scale,
     );
 
+    // Failing points leave a flight-recorder dump next to the JSON report
+    // (last events + VC occupancy + replay seed); `point_json` records the
+    // dump path per leg violation so failures can be replayed offline.
+    let flightrec_dir = std::path::Path::new(&args.json_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join("flightrec");
     let jobs: Vec<FuzzPoint> = (0..args.points)
         .map(|i| {
             let mut p = gen_point(i, args.seed, args.inject, fault);
             p.spec.baseline = args.baseline;
+            p.spec.flightrec_dir = Some(flightrec_dir.clone());
             p
         })
         .collect();

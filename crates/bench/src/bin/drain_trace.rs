@@ -1,0 +1,390 @@
+//! `drain-trace`: single-point observability inspector.
+//!
+//! Runs one fully configured simulation point with event tracing and
+//! telemetry sampling enabled, then post-processes its own output:
+//!
+//! * the structured event stream goes to `<out>/trace.jsonl` (one event
+//!   per line, see [`drain_netsim::trace`]);
+//! * telemetry samples (per-router VC occupancy / queue depths / credit
+//!   stalls, per-link utilization) go to `<out>/telemetry.jsonl`;
+//! * a per-router utilization & misroute table is printed and written to
+//!   `<out>/drain_trace_routers.csv`;
+//! * the flight recorder is armed at `<out>/flightrec/`, so a failing
+//!   point leaves a replayable dump.
+//!
+//! The binary re-parses every line it wrote (a malformed line is fatal)
+//! and — for the DRAIN scheme — asserts drain-epoch events appear at the
+//! configured cadence, which makes it the trace smoke test run by
+//! `scripts/check.sh`.
+//!
+//! ```text
+//! drain_trace [--mesh WxH] [--faults N] [--fault-seed S]
+//!             [--scheme drain|escape-vc|spin] [--pattern NAME]
+//!             [--rate R] [--seed S] [--epoch E] [--cycles C]
+//!             [--telemetry-period P] [--out DIR]
+//! ```
+
+use std::path::PathBuf;
+
+use drain_bench::engine::SweepEngine;
+use drain_bench::json::{num, Json};
+use drain_bench::report::{results_dir, write_csv_in};
+use drain_bench::scheme::DrainVariant;
+use drain_bench::sweep::plan::TopoSpec;
+use drain_bench::table::{banner, f3, print_table};
+use drain_bench::{Scale, Scheme};
+use drain_netsim::traffic::SyntheticPattern;
+use drain_netsim::{
+    RunOutcome, TelemetrySample, TraceConfig, TraceEvent, TraceSink,
+};
+use drain_path::DrainPath;
+use drain_topology::{LinkId, NodeId, Topology};
+
+struct Args {
+    mesh: (u16, u16),
+    faults: usize,
+    fault_seed: u64,
+    scheme: Scheme,
+    pattern: SyntheticPattern,
+    rate: f64,
+    seed: u64,
+    epoch: u64,
+    cycles: u64,
+    telemetry_period: u64,
+    out: PathBuf,
+}
+
+fn parse_pattern(name: &str) -> SyntheticPattern {
+    match name {
+        "uniform" => SyntheticPattern::UniformRandom,
+        "transpose" => SyntheticPattern::Transpose,
+        "bitcomp" => SyntheticPattern::BitComplement,
+        "shuffle" => SyntheticPattern::Shuffle,
+        "neighbor" => SyntheticPattern::Neighbor,
+        "hotspot" => SyntheticPattern::Hotspot(vec![NodeId(0)]),
+        other => panic!("unknown pattern {other:?}"),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mesh: (4, 4),
+        faults: 0,
+        fault_seed: 1,
+        scheme: Scheme::Drain(DrainVariant::Vn1Vc2),
+        pattern: SyntheticPattern::UniformRandom,
+        rate: 0.10,
+        seed: 1,
+        epoch: 1_024,
+        cycles: 16_384,
+        telemetry_period: 256,
+        out: results_dir().join("trace"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--mesh" => {
+                let v = val("--mesh");
+                let (w, h) = v.split_once('x').expect("--mesh WxH");
+                args.mesh = (w.parse().expect("--mesh"), h.parse().expect("--mesh"));
+            }
+            "--faults" => args.faults = val("--faults").parse().expect("--faults"),
+            "--fault-seed" => args.fault_seed = val("--fault-seed").parse().expect("--fault-seed"),
+            "--scheme" => {
+                args.scheme = match val("--scheme").as_str() {
+                    "drain" => Scheme::Drain(DrainVariant::Vn1Vc2),
+                    "escape-vc" => Scheme::EscapeVc,
+                    "spin" => Scheme::Spin,
+                    other => panic!("unknown scheme {other:?}"),
+                }
+            }
+            "--pattern" => args.pattern = parse_pattern(&val("--pattern")),
+            "--rate" => args.rate = val("--rate").parse().expect("--rate"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--epoch" => args.epoch = val("--epoch").parse().expect("--epoch"),
+            "--cycles" => args.cycles = val("--cycles").parse().expect("--cycles"),
+            "--telemetry-period" => {
+                args.telemetry_period = val("--telemetry-period").parse().expect("--telemetry-period")
+            }
+            "--out" => args.out = PathBuf::from(val("--out")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+/// What the traced run hands back to the post-processing stage.
+struct TraceRun {
+    outcome: RunOutcome,
+    injected: u64,
+    ejected: u64,
+    flit_hops: u64,
+    samples: Vec<TelemetrySample>,
+    flight_record: Option<PathBuf>,
+    sink_errors: u64,
+}
+
+fn telemetry_jsonl(samples: &[TelemetrySample], period: u64) -> String {
+    let mut out = String::new();
+    for s in samples {
+        let nums = |it: &mut dyn Iterator<Item = f64>| Json::Arr(it.map(num).collect());
+        let line = Json::obj([
+            ("cycle", num(s.cycle as f64)),
+            ("window", num(s.window as f64)),
+            (
+                "occupied_vcs",
+                nums(&mut s.routers.iter().map(|r| r.occupied_vcs as f64)),
+            ),
+            (
+                "inj_depth",
+                nums(&mut s.routers.iter().map(|r| r.inj_depth as f64)),
+            ),
+            (
+                "ej_depth",
+                nums(&mut s.routers.iter().map(|r| r.ej_depth as f64)),
+            ),
+            (
+                "credit_stalls",
+                nums(&mut s.routers.iter().map(|r| r.credit_stalls as f64)),
+            ),
+            (
+                "link_util",
+                nums(&mut s.link_utilization(period).into_iter()),
+            ),
+        ]);
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Checks that consecutive `drain-epoch-start` events are `epoch` cycles
+/// apart plus the bounded drain overhead (pre-drain window + forced steps
+/// with their serialization freezes).
+fn check_drain_cadence(starts: &[u64], epoch: u64, topo: &Topology, max_flits: u64) {
+    if starts.len() < 2 {
+        return;
+    }
+    let path_len = DrainPath::compute(topo).expect("connected topology").len() as u64;
+    // predrain_window default (5) + worst case: a full drain of the whole
+    // Eulerian circuit, each step followed by a max_packet_flits freeze.
+    let slack = 8 + path_len * (1 + max_flits) + max_flits;
+    for pair in starts.windows(2) {
+        let delta = pair[1] - pair[0];
+        assert!(
+            delta >= epoch && delta <= epoch + slack,
+            "drain cadence violated: consecutive epoch starts {} and {} are {delta} apart \
+             (expected [{epoch}, {}])",
+            pair[0],
+            pair[1],
+            epoch + slack
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::from_env();
+    banner(
+        "trace",
+        "single-point event trace + telemetry inspector",
+        scale,
+    );
+
+    let topo_spec = if args.faults > 0 {
+        TopoSpec::FaultyMesh {
+            w: args.mesh.0,
+            h: args.mesh.1,
+            faults: args.faults,
+            seed: args.fault_seed,
+        }
+    } else {
+        TopoSpec::Mesh {
+            w: args.mesh.0,
+            h: args.mesh.1,
+        }
+    };
+    let topo = topo_spec.build();
+    let full_mesh = topo_spec.full_mesh();
+    std::fs::create_dir_all(&args.out).expect("create trace output dir");
+    let trace_path = args.out.join("trace.jsonl");
+    let telemetry_path = args.out.join("telemetry.jsonl");
+
+    let trace_cfg = TraceConfig::events_on()
+        .with_telemetry(args.telemetry_period)
+        .with_flight_recorder(args.out.join("flightrec"));
+
+    let mut engine = SweepEngine::new("drain_trace", scale);
+    let runs = engine.run_jobs(
+        &[args.seed],
+        |&seed| {
+            let mut sim = args.scheme.synthetic_sim_traced(
+                &topo,
+                full_mesh,
+                args.pattern.clone(),
+                args.rate,
+                seed,
+                args.epoch,
+                1,
+                trace_cfg.clone(),
+            );
+            sim.set_trace_sink(TraceSink::jsonl_file(&trace_path).expect("open trace file"));
+            let outcome = sim.run(args.cycles);
+            sim.flush_trace().expect("flush trace file");
+            let s = sim.stats();
+            TraceRun {
+                outcome,
+                injected: s.injected,
+                ejected: s.ejected,
+                flit_hops: s.flit_hops,
+                flight_record: sim.flight_record().map(|p| p.to_path_buf()),
+                sink_errors: sim.core().tracer().sink_errors(),
+                samples: sim.core_mut().telemetry_mut().take_samples(),
+            }
+        },
+        |_, _| args.cycles,
+    );
+    let run = &runs[0];
+    assert_eq!(run.sink_errors, 0, "trace sink reported write errors");
+
+    // Telemetry export (JSONL, one sample per line).
+    std::fs::write(
+        &telemetry_path,
+        telemetry_jsonl(&run.samples, args.telemetry_period),
+    )
+    .expect("write telemetry file");
+
+    // Re-parse everything we just wrote; a malformed line is a bug.
+    let raw = std::fs::read_to_string(&trace_path).expect("read trace back");
+    let mut events = Vec::new();
+    for (i, line) in raw.lines().enumerate() {
+        match TraceEvent::parse_jsonl(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => panic!("trace line {} does not parse: {e}\n{line}", i + 1),
+        }
+    }
+    for (i, line) in std::fs::read_to_string(&telemetry_path)
+        .expect("read telemetry back")
+        .lines()
+        .enumerate()
+    {
+        if let Err(e) = drain_bench::json::parse(line) {
+            panic!("telemetry line {} does not parse: {e}", i + 1);
+        }
+    }
+
+    // DRAIN runs must show epoch events at the configured cadence.
+    let epoch_starts: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::DrainEpochStart { cycle, .. } => Some(*cycle),
+            _ => None,
+        })
+        .collect();
+    if matches!(args.scheme, Scheme::Drain(_)) {
+        assert!(
+            !epoch_starts.is_empty(),
+            "a DRAIN run of {} cycles with epoch {} must start at least one drain window",
+            args.cycles,
+            args.epoch
+        );
+        check_drain_cadence(&epoch_starts, args.epoch, &topo, 5);
+    }
+
+    // Per-router utilization / misroute table from the event stream +
+    // telemetry series.
+    let n = topo.num_nodes();
+    let mut traversals = vec![0u64; n];
+    let mut misroutes = vec![0u64; n];
+    let mut forced = vec![0u64; n];
+    let mut ejected = vec![0u64; n];
+    for ev in &events {
+        match ev {
+            TraceEvent::LinkTraverse { link, misroute, .. } => {
+                let dst = topo.link(LinkId(*link)).dst.index();
+                traversals[dst] += 1;
+                if *misroute {
+                    misroutes[dst] += 1;
+                }
+            }
+            TraceEvent::ForcedHop { link, misroute, .. } => {
+                let dst = topo.link(LinkId(*link)).dst.index();
+                traversals[dst] += 1;
+                forced[dst] += 1;
+                if *misroute {
+                    misroutes[dst] += 1;
+                }
+            }
+            TraceEvent::Eject { node, .. } => ejected[*node as usize] += 1,
+            _ => {}
+        }
+    }
+    let mean_occ: Vec<f64> = (0..n)
+        .map(|r| {
+            if run.samples.is_empty() {
+                0.0
+            } else {
+                run.samples
+                    .iter()
+                    .map(|s| s.routers[r].occupied_vcs as f64)
+                    .sum::<f64>()
+                    / run.samples.len() as f64
+            }
+        })
+        .collect();
+    let stalls: Vec<u64> = (0..n)
+        .map(|r| run.samples.iter().map(|s| s.routers[r].credit_stalls).sum())
+        .collect();
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|r| {
+            vec![
+                r.to_string(),
+                traversals[r].to_string(),
+                misroutes[r].to_string(),
+                forced[r].to_string(),
+                ejected[r].to_string(),
+                f3(mean_occ[r]),
+                stalls[r].to_string(),
+            ]
+        })
+        .collect();
+    let header = [
+        "router",
+        "traversals",
+        "misroutes",
+        "forced",
+        "ejected",
+        "mean_occ_vcs",
+        "credit_stalls",
+    ];
+    print_table("per-router activity (from trace)", &header, &rows);
+    write_csv_in(&args.out, "drain_trace_routers", &header, &rows);
+
+    println!(
+        "\ntrace: {} events ({} drain-epoch starts) -> {}",
+        events.len(),
+        epoch_starts.len(),
+        trace_path.display()
+    );
+    println!(
+        "telemetry: {} samples (period {}) -> {}",
+        run.samples.len(),
+        args.telemetry_period,
+        telemetry_path.display()
+    );
+    println!(
+        "run: outcome={:?} injected={} ejected={} flit_hops={}",
+        run.outcome, run.injected, run.ejected, run.flit_hops
+    );
+    if let Some(fr) = &run.flight_record {
+        println!("flight record: {}", fr.display());
+    }
+    engine.finish();
+    if run.outcome == RunOutcome::InvariantViolation || run.outcome == RunOutcome::Deadlocked {
+        std::process::exit(1);
+    }
+}

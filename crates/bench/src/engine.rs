@@ -26,6 +26,7 @@
 //! index, so engine output is bit-identical to the serial
 //! [`crate::sweep::load_sweep`] path no matter the thread count.
 
+use std::io::{IsTerminal, Write};
 use std::time::Instant;
 
 use crate::cache::ResultCache;
@@ -36,6 +37,66 @@ use crate::scheme::Scheme;
 use crate::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
 use crate::sweep::Point;
 use drain_netsim::traffic::SyntheticPattern;
+
+/// Whether the engine should paint a live progress line on stderr:
+/// `DRAIN_PROGRESS=0` disables it, any other value forces it on, and when
+/// unset it follows whether stderr is a terminal (so redirected/CI runs
+/// stay clean).
+fn progress_enabled() -> bool {
+    match std::env::var("DRAIN_PROGRESS") {
+        Ok(v) => v.trim() != "0",
+        Err(_) => std::io::stderr().is_terminal(),
+    }
+}
+
+/// A `\r`-rewritten stderr progress line for one batch of jobs; a no-op
+/// when [`progress_enabled`] says so.
+struct Progress {
+    enabled: bool,
+    label: String,
+    cached: usize,
+    started: Instant,
+}
+
+impl Progress {
+    fn new(label: &str, cached: usize) -> Progress {
+        Progress {
+            enabled: progress_enabled(),
+            label: label.to_string(),
+            cached,
+            started: Instant::now(),
+        }
+    }
+
+    /// Repaints the line; called from worker threads as jobs finish (each
+    /// call writes under the stderr lock, so lines never interleave).
+    fn tick(&self, done: usize, total: usize) {
+        if !self.enabled {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r\x1b[K[{}] {done}/{total} simulated",
+            self.label
+        );
+        if self.cached > 0 {
+            let _ = write!(err, ", {} cached", self.cached);
+        }
+        let _ = write!(err, " | {:.1}s", self.started.elapsed().as_secs_f64());
+        let _ = err.flush();
+    }
+
+    /// Clears the line so subsequent output starts on a clean row.
+    fn clear(&self) {
+        if !self.enabled {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r\x1b[K");
+        let _ = err.flush();
+    }
+}
 
 /// Parallel, cached executor for one figure's experiments.
 #[derive(Debug)]
@@ -98,7 +159,14 @@ impl SweepEngine {
         self.cache_hits += specs.len() - miss_idx.len();
 
         let misses: Vec<&PointSpec> = miss_idx.iter().map(|&i| &specs[i]).collect();
-        let simulated = runner::run_indexed(&misses, self.threads, |spec| spec.run());
+        let progress = Progress::new(&self.figure, specs.len() - miss_idx.len());
+        let simulated = runner::run_indexed_progress(
+            &misses,
+            self.threads,
+            |spec| spec.run(),
+            |done, total| progress.tick(done, total),
+        );
+        progress.clear();
 
         for (&i, (point, wall)) in miss_idx.iter().zip(simulated) {
             self.cache.store(&specs[i], &point);
@@ -143,7 +211,11 @@ impl SweepEngine {
     {
         self.total_points += jobs.len();
         self.simulated += jobs.len();
-        let out = runner::run_indexed(jobs, self.threads, f);
+        let progress = Progress::new(&self.figure, 0);
+        let out = runner::run_indexed_progress(jobs, self.threads, f, |done, total| {
+            progress.tick(done, total)
+        });
+        progress.clear();
         out.into_iter()
             .enumerate()
             .map(|(i, (r, wall))| {

@@ -38,6 +38,26 @@ where
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
+    run_indexed_progress(jobs, threads, f, |_, _| {})
+}
+
+/// [`run_indexed`] with a completion callback: `progress(done, total)` is
+/// invoked after every finished job (from whichever thread finished it, so
+/// the callback must be `Sync`; completion order is scheduling-dependent
+/// but `done` counts monotonically). Results are unaffected — the sweep
+/// engine uses this for its live stderr progress line.
+pub fn run_indexed_progress<J, R, F, P>(
+    jobs: &[J],
+    threads: usize,
+    f: F,
+    progress: P,
+) -> Vec<(R, Duration)>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+    P: Fn(usize, usize) + Sync,
+{
     let timed = |job: &J| {
         let t0 = Instant::now();
         let r = f(job);
@@ -45,10 +65,19 @@ where
     };
 
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(timed).collect();
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let out = timed(job);
+                progress(i + 1, jobs.len());
+                out
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<(R, Duration)>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
 
@@ -61,6 +90,8 @@ where
                 }
                 let out = timed(&jobs[i]);
                 slots.lock().expect("runner mutex poisoned")[i] = Some(out);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress(finished, jobs.len());
             });
         }
     });
@@ -119,5 +150,28 @@ mod tests {
     #[test]
     fn worker_threads_is_positive() {
         assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn progress_fires_once_per_job_and_reaches_total() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1usize, 6] {
+            let jobs: Vec<u32> = (0..25).collect();
+            let calls = AtomicUsize::new(0);
+            let peak = AtomicUsize::new(0);
+            let out = run_indexed_progress(
+                &jobs,
+                threads,
+                |&j| j * 2,
+                |done, total| {
+                    assert_eq!(total, 25);
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    peak.fetch_max(done, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(out.len(), 25);
+            assert_eq!(calls.load(Ordering::Relaxed), 25, "threads={threads}");
+            assert_eq!(peak.load(Ordering::Relaxed), 25, "threads={threads}");
+        }
     }
 }

@@ -5,7 +5,7 @@ use drain_coherence::{CoherenceConfig, CoherenceEngine};
 use drain_core::{DrainConfig, DrainMechanism};
 use drain_netsim::routing::FullyAdaptive;
 use drain_netsim::traffic::{Endpoints, SyntheticPattern, SyntheticTraffic};
-use drain_netsim::{Sim, SimConfig};
+use drain_netsim::{Sim, SimConfig, TraceConfig};
 use drain_path::DrainPath;
 use drain_topology::Topology;
 use drain_workloads::{AppModel, AppTrace};
@@ -178,12 +178,42 @@ impl Scheme {
         epoch: u64,
         hops_per_drain: u32,
     ) -> Sim {
+        self.synthetic_sim_traced(
+            topo,
+            full_mesh,
+            pattern,
+            rate,
+            seed,
+            epoch,
+            hops_per_drain,
+            TraceConfig::default(),
+        )
+    }
+
+    /// [`Scheme::synthetic_sim_hops`] with an observability configuration
+    /// (event capture / telemetry sampling / flight recorder); used by the
+    /// `drain-trace` inspector. A sink is installed separately via
+    /// [`Sim::set_trace_sink`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthetic_sim_traced(
+        self,
+        topo: &Topology,
+        full_mesh: bool,
+        pattern: SyntheticPattern,
+        rate: f64,
+        seed: u64,
+        epoch: u64,
+        hops_per_drain: u32,
+        trace: TraceConfig,
+    ) -> Sim {
         let traffic = SyntheticTraffic::new(pattern, rate, 1, seed ^ 0x7AFF1C);
+        let mut config = self.synthetic_config();
+        config.trace = trace;
         self.build(
             topo,
             full_mesh,
             Box::new(traffic),
-            self.synthetic_config(),
+            config,
             epoch,
             hops_per_drain,
             seed,

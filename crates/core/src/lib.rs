@@ -49,7 +49,7 @@ pub mod reconfigure;
 pub mod truncation;
 
 use drain_netsim::mechanism::{ControlAction, ForcedKind, ForcedMove, Mechanism};
-use drain_netsim::{SimCore, VcRef};
+use drain_netsim::{SimCore, TraceEvent, VcRef};
 use drain_path::DrainPath;
 
 pub use builder::DrainBuildError;
@@ -115,6 +115,9 @@ pub struct DrainMechanism {
     config: DrainConfig,
     phase: Phase,
     windows_done: u64,
+    /// Forced moves executed in the drain window in progress (reported in
+    /// the window's `DrainEpochEnd` trace event).
+    moved_this_window: u64,
 }
 
 impl DrainMechanism {
@@ -132,6 +135,7 @@ impl DrainMechanism {
             },
             config,
             windows_done: 0,
+            moved_this_window: 0,
         }
     }
 
@@ -198,6 +202,16 @@ impl Mechanism for DrainMechanism {
                 self.phase = Phase::PreDrain {
                     left: self.config.predrain_window,
                 };
+                self.moved_this_window = 0;
+                if core.trace_enabled() {
+                    let full = self.config.full_drain_period > 0
+                        && (self.windows_done + 1).is_multiple_of(self.config.full_drain_period);
+                    core.trace_emit(TraceEvent::DrainEpochStart {
+                        cycle: core.cycle(),
+                        window: self.windows_done + 1,
+                        full,
+                    });
+                }
                 ControlAction::Freeze
             }
             Phase::PreDrain { ref mut left } => {
@@ -231,6 +245,13 @@ impl Mechanism for DrainMechanism {
                 }
                 if *steps_left == 0 {
                     self.windows_done += 1;
+                    if core.trace_enabled() {
+                        core.trace_emit(TraceEvent::DrainEpochEnd {
+                            cycle: core.cycle(),
+                            window: self.windows_done,
+                            moved: self.moved_this_window,
+                        });
+                    }
                     self.phase = Phase::Running {
                         epoch_left: self.config.epoch,
                     };
@@ -240,6 +261,7 @@ impl Mechanism for DrainMechanism {
                 // Serialization gap before the next step or the restart.
                 *freeze_left = core.config().max_packet_flits() as u64;
                 let moves = self.drain_moves(core);
+                self.moved_this_window += moves.len() as u64;
                 let kind = if full {
                     ForcedKind::FullDrain
                 } else {

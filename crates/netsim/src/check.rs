@@ -142,6 +142,18 @@ impl ViolationKind {
             ViolationKind::ForcedMove => "forced-move",
         }
     }
+
+    /// Inverse of [`ViolationKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "conservation" => Some(ViolationKind::Conservation),
+            "occupancy" => Some(ViolationKind::Occupancy),
+            "reachability" => Some(ViolationKind::Reachability),
+            "progress" => Some(ViolationKind::Progress),
+            "forced-move" => Some(ViolationKind::ForcedMove),
+            _ => None,
+        }
+    }
 }
 
 /// A failed invariant check, with everything needed to replay it.

@@ -28,6 +28,12 @@
 //!   occupancy, reachability, forward progress, forced-move validity) and
 //!   the delivery-fingerprint recorder behind the differential oracle in
 //!   the bench crate.
+//! * [`trace`] — opt-in structured event bus (typed events, bounded ring
+//!   buffer, JSONL/memory sinks) and the flight recorder that dumps the
+//!   last events + a VC snapshot when a run dies. Distinct from
+//!   [`traffic::TraceTraffic`], which *replays* workload traces.
+//! * [`telemetry`] — opt-in periodic sampler: per-router VC occupancy,
+//!   queue depths, credit stalls and per-link utilization time series.
 //!
 //! # Examples
 //!
@@ -67,6 +73,8 @@ pub mod routing;
 pub mod sim;
 pub mod state;
 pub mod stats;
+pub mod telemetry;
+pub mod trace;
 pub mod traffic;
 
 pub use check::{CheckConfig, PacketFingerprint, RecordingEndpoints, Violation, ViolationKind};
@@ -75,6 +83,8 @@ pub use packet::{Location, MessageClass, Packet, PacketId};
 pub use sim::{RunOutcome, Sim};
 pub use state::{SimCore, VcRef, VcState};
 pub use stats::Stats;
+pub use telemetry::{RouterTelemetry, Telemetry, TelemetrySample};
+pub use trace::{TraceConfig, TraceEvent, TraceSink, Tracer};
 
 #[cfg(test)]
 mod tests;

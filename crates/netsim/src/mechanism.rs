@@ -27,6 +27,27 @@ pub enum ForcedKind {
     Spin,
 }
 
+impl ForcedKind {
+    /// Stable short name (used in trace events and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ForcedKind::Drain => "drain",
+            ForcedKind::FullDrain => "full-drain",
+            ForcedKind::Spin => "spin",
+        }
+    }
+
+    /// Inverse of [`ForcedKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "drain" => Some(ForcedKind::Drain),
+            "full-drain" => Some(ForcedKind::FullDrain),
+            "spin" => Some(ForcedKind::Spin),
+            _ => None,
+        }
+    }
+}
+
 /// One forced one-hop movement: the packet in `from` traverses `to.link`
 /// and lands in `to` (or ejects on arrival at its destination).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -4,11 +4,14 @@
 //! control (drain/spin/freeze decisions) → network allocation → watchdog &
 //! detector instrumentation.
 
+use std::path::{Path, PathBuf};
+
 use crate::check::{self, Violation};
 use crate::deadlock;
 use crate::mechanism::{ControlAction, Mechanism};
 use crate::state::SimCore;
 use crate::stats::Stats;
+use crate::trace::{self, TraceEvent, TraceSink};
 use crate::traffic::Endpoints;
 use crate::SimConfig;
 use drain_topology::Topology;
@@ -40,6 +43,7 @@ pub struct Sim {
     endpoints: Box<dyn Endpoints>,
     stop_on_deadlock: bool,
     violation: Option<Violation>,
+    flight_record: Option<PathBuf>,
 }
 
 // Compile-time audit of the `Send` guarantee documented above: building a
@@ -70,6 +74,7 @@ impl Sim {
             endpoints,
             stop_on_deadlock: false,
             violation: None,
+            flight_record: None,
         }
     }
 
@@ -122,6 +127,28 @@ impl Sim {
         self.violation.as_ref()
     }
 
+    /// Installs a trace sink and enables event capture (see
+    /// [`crate::trace`]). Sinks live outside [`SimConfig`] because they
+    /// can hold file handles; configs stay `Clone + PartialEq`.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.core.tracer_mut().set_sink(sink);
+    }
+
+    /// Flushes a writer trace sink, if one is installed.
+    ///
+    /// # Errors
+    ///
+    /// The writer's flush error, if any.
+    pub fn flush_trace(&mut self) -> std::io::Result<()> {
+        self.core.tracer_mut().flush()
+    }
+
+    /// Path of the flight-recorder dump written by this run, if the run
+    /// failed and [`crate::TraceConfig::flightrec_dir`] was configured.
+    pub fn flight_record(&self) -> Option<&Path> {
+        self.flight_record.as_deref()
+    }
+
     /// Advances the simulation by one cycle.
     ///
     /// With [`crate::check::CheckConfig`] flags enabled, forced
@@ -154,6 +181,7 @@ impl Sim {
             }
         }
         self.instrument();
+        self.core.telemetry_tick();
         if self.core.config().checks.any_per_cycle() {
             if let Err(v) = check::run_checks(&self.core) {
                 self.fail(v);
@@ -164,10 +192,29 @@ impl Sim {
     }
 
     fn fail(&mut self, v: Violation) {
+        self.core.trace_emit(TraceEvent::InvariantViolation {
+            cycle: v.cycle,
+            kind: v.kind,
+            seed: v.seed,
+            detail: v.detail.clone(),
+        });
+        self.record_failure("invariant");
         if self.core.config().checks.panic_on_violation {
             panic!("{v}");
         }
         self.violation = Some(v);
+    }
+
+    /// Dumps a flight record for the first failure of the run (no-op when
+    /// [`crate::TraceConfig::flightrec_dir`] is unset).
+    fn record_failure(&mut self, reason: &str) {
+        if self.flight_record.is_some() {
+            return;
+        }
+        if let Some(path) = trace::flight_record(&self.core, reason) {
+            eprintln!("flight record written to {}", path.display());
+            self.flight_record = Some(path);
+        }
     }
 
     fn instrument(&mut self) {
@@ -177,19 +224,35 @@ impl Sim {
         if interval > 0 && now % interval == interval - 1 {
             let report = deadlock::detect(&self.core);
             if report.is_deadlocked() {
+                let first = self.core.stats.first_deadlock_cycle == u64::MAX;
                 self.core.stats.deadlocks_detected += 1;
-                if self.core.stats.first_deadlock_cycle == u64::MAX {
+                if first {
                     self.core.stats.first_deadlock_cycle = now;
+                    if self.core.trace_enabled() {
+                        let r = report.deadlocked[0];
+                        self.core.trace_emit(TraceEvent::DeadlockConviction {
+                            cycle: now,
+                            convicted: report.deadlocked.len() as u32,
+                            link: r.link.0,
+                            vn: r.vn,
+                            vc: r.vc,
+                        });
+                    }
+                    self.record_failure("deadlock");
                 }
             }
         }
-        if wd > 0
-            && self.core.packets_in_network() > 0
-            && now.saturating_sub(self.core.stats.last_progress_cycle) > wd
-        {
+        let idle = now.saturating_sub(self.core.stats.last_progress_cycle);
+        if wd > 0 && self.core.packets_in_network() > 0 && idle > wd {
+            let first = !self.core.stats.watchdog_deadlock;
             self.core.stats.watchdog_deadlock = true;
             if self.core.stats.first_deadlock_cycle == u64::MAX {
                 self.core.stats.first_deadlock_cycle = now;
+            }
+            if first {
+                self.core
+                    .trace_emit(TraceEvent::WatchdogTrip { cycle: now, idle });
+                self.record_failure("watchdog");
             }
         }
     }

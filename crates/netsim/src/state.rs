@@ -28,6 +28,8 @@ use crate::mechanism::{ForcedKind, ForcedMove};
 use crate::packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
 use crate::routing::{Candidate, RouteCtx, Routing, TargetVc};
 use crate::stats::Stats;
+use crate::telemetry::{RouterTelemetry, Telemetry};
+use crate::trace::{TraceEvent, Tracer};
 
 /// Reference to one VC buffer: the input port of `link`'s head router,
 /// virtual network `vn`, VC `vc` (0 = escape).
@@ -102,6 +104,10 @@ pub struct SimCore {
     /// Scratch buffers reused across cycles.
     cand_buf: Vec<Candidate>,
     req_buf: Vec<Vec<LinkRequest>>,
+    /// Structured event bus (see [`crate::trace`]).
+    tracer: Tracer,
+    /// Telemetry sampler (see [`crate::telemetry`]).
+    telem: Telemetry,
 }
 
 impl SimCore {
@@ -118,6 +124,8 @@ impl SimCore {
         let total_vcs = config.total_vcs();
         let classes = config.num_classes;
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let tracer = Tracer::new(&config.trace);
+        let telem = Telemetry::new(&config.trace, m, n);
         SimCore {
             vcs: vec![VcState::default(); m * total_vcs],
             link_busy: vec![0; m],
@@ -130,6 +138,8 @@ impl SimCore {
             rng,
             cand_buf: Vec::new(),
             req_buf: (0..m).map(|_| Vec::new()).collect(),
+            tracer,
+            telem,
             dmap,
             topo,
             config,
@@ -170,6 +180,41 @@ impl SimCore {
     /// Distance map used for misroute accounting and adaptive routing.
     pub fn distance_map(&self) -> &DistanceMap {
         &self.dmap
+    }
+
+    /// The structured event bus (captured events, emission counters).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable event bus (install sinks, drain the memory sink).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Whether event tracing is enabled. Hot paths use this as the guard
+    /// and construct events only behind it.
+    #[inline(always)]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Emits one trace event (no-op when tracing is disabled). Intended
+    /// for mechanisms and drivers; core hot paths emit directly behind
+    /// [`SimCore::trace_enabled`].
+    #[inline]
+    pub fn trace_emit(&mut self, event: TraceEvent) {
+        self.tracer.push(event);
+    }
+
+    /// The telemetry sampler (retained samples, cumulative counters).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telem
+    }
+
+    /// Mutable telemetry sampler (drain the sample series).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telem
     }
 
     #[inline]
@@ -435,6 +480,43 @@ impl SimCore {
         self.cycle += 1;
     }
 
+    /// Takes a telemetry sample when the current cycle closes a sampling
+    /// window. Called by the driver once per cycle; the O(VCs + routers)
+    /// sweep runs only on window boundaries.
+    pub(crate) fn telemetry_tick(&mut self) {
+        if !self.telem.active() {
+            return;
+        }
+        let period = self.telem.period();
+        if !(self.cycle + 1).is_multiple_of(period) {
+            return;
+        }
+        let n = self.topo.num_nodes();
+        let mut routers: Vec<RouterTelemetry> = (0..n)
+            .map(|_| RouterTelemetry {
+                occupied_vcs: 0,
+                inj_depth: 0,
+                ej_depth: 0,
+                credit_stalls: 0,
+            })
+            .collect();
+        // VC buffers sit at the input of their link's destination router.
+        let total_vcs = self.config.total_vcs();
+        for (idx, st) in self.vcs.iter().enumerate() {
+            if st.occ.is_some() {
+                let link = LinkId((idx / total_vcs) as u32);
+                routers[self.topo.link(link).dst.index()].occupied_vcs += 1;
+            }
+        }
+        for (q, queue) in self.inj.iter().enumerate() {
+            routers[q / self.config.num_classes].inj_depth += queue.len() as u32;
+        }
+        for (q, queue) in self.ej.iter().enumerate() {
+            routers[q / self.config.num_classes].ej_depth += queue.len() as u32;
+        }
+        self.telem.push_sample(self.cycle, routers);
+    }
+
     /// Normal allocation: gathers requests, arbitrates one grant per output
     /// link and one ejection per (node, class), and commits the moves.
     pub(crate) fn allocate_and_move(&mut self) {
@@ -484,7 +566,13 @@ impl SimCore {
                     let allow_escape = in_escape
                         || self.escape_always_allowed()
                         || blocked_for >= self.config.escape_entry_patience;
-                    self.push_first_feasible(ctx, vn, MoveSource::Vc(idx), pid, allow_escape);
+                    let registered =
+                        self.push_first_feasible(ctx, vn, MoveSource::Vc(idx), pid, allow_escape);
+                    // A resident packet that cannot even request a move is
+                    // credit-stalled at its current router.
+                    if !registered && self.telem.active() {
+                        self.telem.note_credit_stalls(here.index(), 1);
+                    }
                 }
             }
         }
@@ -536,7 +624,14 @@ impl SimCore {
             let group = &eject_reqs[gi..ge];
             // Oldest-first ejection grant.
             let ej_len = self.ej[q].len();
-            if ej_len < self.config.ej_queue_capacity {
+            if ej_len >= self.config.ej_queue_capacity {
+                // Deliverable packets blocked on a full ejection queue are
+                // credit-stalled at the destination router.
+                if self.telem.active() {
+                    self.telem
+                        .note_credit_stalls(q / self.config.num_classes, group.len() as u64);
+                }
+            } else {
                 let rot = (now as usize + q) % group.len();
                 let win = (0..group.len())
                     .max_by_key(|&i| {
@@ -584,7 +679,9 @@ impl SimCore {
 
     /// Finds the first candidate with a free link and free target VC and
     /// registers a request on that link. `allow_escape` gates fallback
-    /// into escape VCs (entry patience).
+    /// into escape VCs (entry patience). Returns whether a request was
+    /// registered (`false` = every feasible next hop lacked buffer or
+    /// link credit this cycle).
     fn push_first_feasible(
         &mut self,
         ctx: RouteCtx,
@@ -592,7 +689,7 @@ impl SimCore {
         source: MoveSource,
         pid: PacketId,
         allow_escape: bool,
-    ) {
+    ) -> bool {
         self.cand_buf.clear();
         let mut cands = std::mem::take(&mut self.cand_buf);
         self.routing.candidates(&ctx, &mut cands);
@@ -623,6 +720,9 @@ impl SimCore {
                 target,
                 blocked_for: ctx.blocked_for,
             });
+            true
+        } else {
+            false
         }
     }
 
@@ -705,6 +805,7 @@ impl SimCore {
                 self.dmap.distance(to_node, p.dest),
             )
         };
+        let misroute = new_d >= old_d;
         let p = self.packets.get_mut(req.pid);
         p.loc = Location::Vc {
             link: out_link,
@@ -712,13 +813,45 @@ impl SimCore {
             vc: target.vc,
         };
         p.hops += 1;
-        if new_d >= old_d {
+        if misroute {
             p.misroutes += 1;
             self.stats.misroutes += 1;
         }
         self.stats.hops += 1;
         self.stats.flit_hops += p_len;
         self.stats.last_progress_cycle = now;
+        if self.telem.active() {
+            self.telem.note_link_flits(out_link.index(), p_len);
+        }
+        if self.tracer.enabled() {
+            let (src, dest, class) = {
+                let p = self.packets.get(req.pid);
+                (p.src.0, p.dest.0, p.class.index() as u8)
+            };
+            if matches!(req.source, MoveSource::Injection { .. }) {
+                self.tracer.push(TraceEvent::Inject {
+                    cycle: now,
+                    pid: req.pid.0,
+                    src,
+                    dest,
+                    class,
+                });
+            }
+            self.tracer.push(TraceEvent::VcAlloc {
+                cycle: now,
+                pid: req.pid.0,
+                link: out_link.0,
+                vn: target.vn,
+                vc: target.vc,
+            });
+            self.tracer.push(TraceEvent::LinkTraverse {
+                cycle: now,
+                pid: req.pid.0,
+                link: out_link.0,
+                flits: p_len as u32,
+                misroute,
+            });
+        }
     }
 
     fn commit_eject(&mut self, vc_idx: usize, pid: PacketId) {
@@ -751,6 +884,15 @@ impl SimCore {
         self.stats.ejected += 1;
         self.stats.window_ejected += 1;
         self.stats.last_progress_cycle = now;
+        if self.tracer.enabled() {
+            self.tracer.push(TraceEvent::Eject {
+                cycle: now,
+                pid: pid.0,
+                node: dest.0,
+                class: class.index() as u8,
+                latency: net,
+            });
+        }
     }
 
     /// Applies an atomic set of forced one-hop movements (a drain step or a
@@ -832,6 +974,18 @@ impl SimCore {
             self.stats.forced_hops += 1;
             if new_d >= old_d {
                 self.stats.misroutes += 1;
+            }
+            if self.telem.active() {
+                self.telem.note_link_flits(to.link.index(), p_len);
+            }
+            if self.tracer.enabled() {
+                self.tracer.push(TraceEvent::ForcedHop {
+                    cycle: now,
+                    pid: pid.0,
+                    link: to.link.0,
+                    kind,
+                    misroute: new_d >= old_d,
+                });
             }
             if dest == to_node && self.ejection_has_space(to_node, class) {
                 self.finish_delivery(pid, true);

@@ -42,9 +42,24 @@ impl LatencyHistogram {
         if (latency as usize) < EXACT {
             self.exact[latency as usize] += 1;
         } else {
-            let b = (64 - latency.leading_zeros() as usize).min(COARSE_BUCKETS - 1);
+            // Bucket b covers [2^b, 2^(b+1) - 1].
+            let b = (63 - latency.leading_zeros() as usize).min(COARSE_BUCKETS - 1);
             self.coarse[b] += 1;
         }
+    }
+
+    /// Merges another histogram's samples into this one (per-router
+    /// histograms aggregate into network-wide ones).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.exact.iter_mut().zip(&other.exact) {
+            *a += b;
+        }
+        for (a, b) in self.coarse.iter_mut().zip(&other.coarse) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Number of samples.
@@ -72,7 +87,9 @@ impl LatencyHistogram {
         if self.count == 0 {
             return 0;
         }
-        let target = ((self.count as f64) * p).ceil() as u64;
+        // `p = 0` means the minimum sample, so at least one sample must be
+        // accumulated before the scan stops.
+        let target = (((self.count as f64) * p).ceil() as u64).max(1);
         let mut acc = 0u64;
         for (lat, &n) in self.exact.iter().enumerate() {
             acc += n;
@@ -83,7 +100,9 @@ impl LatencyHistogram {
         for (b, &n) in self.coarse.iter().enumerate() {
             acc += n;
             if acc >= target {
-                return 1u64 << b;
+                // The bucket's upper bound, clamped to the observed max
+                // (the bucket cannot contain anything larger).
+                return ((1u64 << (b + 1)) - 1).min(self.max);
             }
         }
         self.max
@@ -242,5 +261,52 @@ mod tests {
     fn empty_quantile_is_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_zero_is_min_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        h.record(1000);
+        assert_eq!(h.quantile(0.0), 42);
+        let mut coarse = LatencyHistogram::new();
+        coarse.record(5000);
+        assert!(coarse.quantile(0.0) >= 4096, "min falls in its coarse bucket");
+    }
+
+    #[test]
+    fn coarse_quantile_reports_bucket_upper_bound() {
+        let mut h = LatencyHistogram::new();
+        h.record(3000); // bucket [2048, 4095]
+        h.record(3000);
+        h.record(100_000);
+        // Median sits in the [2048, 4095] bucket; its upper bound is 4095.
+        assert_eq!(h.quantile(0.5), 4095);
+        // The top quantile is clamped to the observed max, not 2^k - 1.
+        assert_eq!(h.quantile(1.0), 100_000);
+    }
+
+    #[test]
+    fn merge_aggregates_samples() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for lat in 1..=50u64 {
+            a.record(lat);
+        }
+        for lat in 51..=100u64 {
+            b.record(lat);
+        }
+        b.record(10_000);
+        a.merge(&b);
+        let mut reference = LatencyHistogram::new();
+        for lat in 1..=100u64 {
+            reference.record(lat);
+        }
+        reference.record(10_000);
+        assert_eq!(a.count(), reference.count());
+        assert!((a.mean() - reference.mean()).abs() < 1e-9);
+        assert_eq!(a.max(), reference.max());
+        assert_eq!(a.quantile(0.5), reference.quantile(0.5));
+        assert_eq!(a.p99(), reference.p99());
     }
 }

@@ -3,7 +3,7 @@
 
 use crate::mechanism::{ControlAction, ForcedKind, ForcedMove, Mechanism, NoMechanism};
 use crate::routing::FullyAdaptive;
-use crate::traffic::{SyntheticPattern, SyntheticTraffic, TraceEvent, TraceTraffic};
+use crate::traffic::{InjectionEvent, SyntheticPattern, SyntheticTraffic, TraceTraffic};
 use crate::{MessageClass, Sim, SimConfig, VcRef};
 use drain_topology::{NodeId, Topology};
 
@@ -246,14 +246,14 @@ fn cyclic_forced_moves_swap_ring_occupants() {
 fn trace_traffic_injects_on_schedule() {
     let topo = Topology::mesh(3, 3);
     let events = vec![
-        TraceEvent {
+        InjectionEvent {
             cycle: 5,
             src: NodeId(0),
             dest: NodeId(8),
             class: MessageClass::REQUEST,
             len_flits: 1,
         },
-        TraceEvent {
+        InjectionEvent {
             cycle: 10,
             src: NodeId(8),
             dest: NodeId(0),
@@ -350,4 +350,160 @@ fn ejection_queue_capacity_backpressures() {
     assert_eq!(sim.stats().ejected, 2);
     let live = sim.core().live_packets();
     assert_eq!(live, 6, "undelivered packets remain live in the network");
+}
+
+// ---------------------------------------------------------------------
+// Observability: event bus wiring and the flight recorder
+// ---------------------------------------------------------------------
+
+/// A saturated 1-VC ring with U-turn-free minimal routing deadlocks fast
+/// (same scenario as the detector's own test); with tracing, a flight
+/// recorder directory and a progress horizon in no-panic mode, the run
+/// must stop with a violation and leave a replayable dump whose final
+/// event is the invariant violation carrying the sim seed.
+#[test]
+fn flight_recorder_dumps_on_invariant_violation() {
+    use crate::trace::{TraceConfig, TraceEvent};
+
+    let dir = std::env::temp_dir().join(format!("drain-flightrec-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let topo = Topology::ring(4);
+    let config = SimConfig {
+        vns: 1,
+        vcs_per_vn: 1,
+        num_classes: 1,
+        watchdog_threshold: 0,
+        seed: 0xF11E,
+        checks: crate::CheckConfig::full()
+            .with_progress_horizon(2_000)
+            .no_panic(),
+        trace: TraceConfig::events_on().with_flight_recorder(&dir),
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::new(
+        topo.clone(),
+        config,
+        Box::new(FullyAdaptive::new(&topo)),
+        Box::new(NoMechanism),
+        Box::new(SyntheticTraffic::new(SyntheticPattern::UniformRandom, 0.9, 1, 3)),
+    );
+    let outcome = sim.run(20_000);
+    assert_eq!(outcome, crate::RunOutcome::InvariantViolation);
+    let v = sim.violation().expect("violation recorded");
+    assert_eq!(v.seed, 0xF11E);
+    let path = sim.flight_record().expect("flight record written").to_owned();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().expect("header line");
+    assert!(header.contains("\"flightrec\":\"v1\""));
+    assert!(header.contains("\"seed\":61726"), "header: {header}");
+    let last = text.lines().last().expect("non-empty dump");
+    match TraceEvent::parse_jsonl(last) {
+        Ok(TraceEvent::InvariantViolation { seed, kind, .. }) => {
+            assert_eq!(seed, 0xF11E);
+            assert_eq!(kind, v.kind);
+        }
+        other => panic!("final dump line should be the violation, got {other:?} from {last}"),
+    }
+    // Every event line in the dump must parse (snapshot/header lines are
+    // the only non-event lines and carry their own discriminators).
+    for line in text.lines().skip(1) {
+        if line.starts_with("{\"snapshot\"") {
+            continue;
+        }
+        TraceEvent::parse_jsonl(line).unwrap_or_else(|e| panic!("bad dump line {line}: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The watchdog trip emits a trace event and dumps exactly one flight
+/// record per run.
+#[test]
+fn watchdog_trip_emits_event_and_dump() {
+    use crate::trace::{TraceConfig, TraceEvent, TraceSink};
+
+    let dir = std::env::temp_dir().join(format!("drain-watchdog-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let topo = Topology::ring(4);
+    let config = SimConfig {
+        watchdog_threshold: 500,
+        trace: TraceConfig::events_on().with_flight_recorder(&dir),
+        ..single_vc_config()
+    };
+    let mut sim = Sim::new(
+        topo.clone(),
+        config,
+        Box::new(FullyAdaptive::new(&topo)),
+        Box::new(NoMechanism),
+        Box::new(SyntheticTraffic::new(SyntheticPattern::UniformRandom, 0.9, 1, 3)),
+    );
+    sim.set_trace_sink(TraceSink::Memory(Vec::new()));
+    sim.run(5_000);
+    assert!(sim.stats().watchdog_deadlock, "saturated 1-VC ring wedges");
+    let events = sim.core_mut().tracer_mut().take_memory().unwrap();
+    let trips: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::WatchdogTrip { .. }))
+        .collect();
+    assert_eq!(trips.len(), 1, "watchdog trip recorded once");
+    assert!(sim.flight_record().is_some());
+    let dumps = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(dumps, 1, "one dump per run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hot-path emission: a tiny traced run produces matched inject/eject
+/// pairs plus VC-alloc and link-traverse events consistent with stats.
+#[test]
+fn traced_run_matches_stats() {
+    use crate::trace::{TraceEvent, TraceSink};
+
+    let topo = Topology::mesh(2, 2);
+    let mut sim = quiet_sim(&topo, single_vc_config());
+    sim.set_trace_sink(TraceSink::Memory(Vec::new()));
+    for i in 0..3u16 {
+        sim.core_mut()
+            .try_enqueue_packet(NodeId(i), NodeId(3 - i % 2), MessageClass::REQUEST, 1, 0);
+    }
+    sim.run(100);
+    let stats_ejected = sim.stats().ejected;
+    let stats_hops = sim.stats().hops;
+    assert!(stats_ejected > 0);
+    let events = sim.core_mut().tracer_mut().take_memory().unwrap();
+    let count = |f: fn(&TraceEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
+    assert_eq!(count(|e| matches!(e, TraceEvent::Inject { .. })), sim.stats().injected);
+    assert_eq!(count(|e| matches!(e, TraceEvent::Eject { .. })), stats_ejected);
+    assert_eq!(count(|e| matches!(e, TraceEvent::LinkTraverse { .. })), stats_hops);
+    assert_eq!(count(|e| matches!(e, TraceEvent::VcAlloc { .. })), stats_hops);
+}
+
+/// Telemetry sampling: cadence, occupancy accounting and sample bounding
+/// on a live simulation.
+#[test]
+fn telemetry_samples_on_cadence() {
+    use crate::trace::TraceConfig;
+
+    let topo = Topology::mesh(4, 4);
+    let config = SimConfig {
+        trace: TraceConfig::default().with_telemetry(64),
+        ..single_vc_config()
+    };
+    let mut sim = Sim::new(
+        topo.clone(),
+        config,
+        Box::new(FullyAdaptive::new(&topo)),
+        Box::new(NoMechanism),
+        Box::new(SyntheticTraffic::new(SyntheticPattern::UniformRandom, 0.1, 1, 11)),
+    );
+    sim.run(640);
+    let samples: Vec<_> = sim.core().telemetry().samples().cloned().collect();
+    assert_eq!(samples.len(), 10, "one sample per 64-cycle window");
+    for (i, s) in samples.iter().enumerate() {
+        assert_eq!(s.cycle, 64 * (i as u64 + 1) - 1, "samples on window boundaries");
+        assert_eq!(s.routers.len(), 16);
+        assert_eq!(s.link_flits.len(), topo.num_unidirectional_links());
+    }
+    let total_flits: u64 = samples.iter().map(|s| s.total_flits()).sum();
+    assert!(total_flits > 0, "uniform traffic moves flits");
+    assert!(total_flits <= sim.stats().flit_hops);
 }

@@ -16,7 +16,7 @@ mod synthetic;
 mod trace;
 
 pub use synthetic::{SyntheticPattern, SyntheticTraffic};
-pub use trace::{TraceEvent, TraceTraffic};
+pub use trace::{InjectionEvent, TraceTraffic};
 
 use crate::state::SimCore;
 

@@ -8,7 +8,7 @@ use crate::state::SimCore;
 
 /// One scripted injection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct TraceEvent {
+pub struct InjectionEvent {
     /// Cycle at which the packet is created.
     pub cycle: u64,
     /// Source node.
@@ -27,7 +27,7 @@ pub struct TraceEvent {
 /// Events must be sorted by cycle (enforced at construction).
 #[derive(Clone, Debug)]
 pub struct TraceTraffic {
-    events: Vec<TraceEvent>,
+    events: Vec<InjectionEvent>,
     next: usize,
 }
 
@@ -37,7 +37,7 @@ impl TraceTraffic {
     /// # Panics
     ///
     /// Panics if `events` is not sorted by cycle.
-    pub fn new(events: Vec<TraceEvent>) -> Self {
+    pub fn new(events: Vec<InjectionEvent>) -> Self {
         assert!(
             events.windows(2).all(|w| w[0].cycle <= w[1].cycle),
             "trace events must be sorted by cycle"
@@ -89,14 +89,14 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn unsorted_rejected() {
         TraceTraffic::new(vec![
-            TraceEvent {
+            InjectionEvent {
                 cycle: 5,
                 src: NodeId(0),
                 dest: NodeId(1),
                 class: MessageClass::REQUEST,
                 len_flits: 1,
             },
-            TraceEvent {
+            InjectionEvent {
                 cycle: 2,
                 src: NodeId(1),
                 dest: NodeId(0),
@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn remaining_counts_down() {
-        let t = TraceTraffic::new(vec![TraceEvent {
+        let t = TraceTraffic::new(vec![InjectionEvent {
             cycle: 0,
             src: NodeId(0),
             dest: NodeId(1),

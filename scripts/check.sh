@@ -23,4 +23,16 @@ cargo build --release -p drain-bench --bin drain_fuzz --quiet
 ./target/release/drain_fuzz --smoke --seed-fault \
     --json results/drain_fuzz_smoke_fault.json
 
+echo "==> drain-trace smoke (event trace + telemetry on a 4x4 mesh)"
+# The binary re-parses every JSONL line it wrote and asserts drain-epoch
+# cadence, so a zero exit is the smoke pass; golden-trace determinism is
+# covered by the drain-bench test suite above.
+cargo build --release -p drain-bench --bin drain_trace --quiet
+./target/release/drain_trace --mesh 4x4 --cycles 8192 \
+    --out results/trace_smoke
+cargo test -p drain-bench --test golden_trace -q
+
+echo "==> trace overhead benchmark (smoke mode)"
+cargo bench -p drain-bench --bench trace_overhead -- --test
+
 echo "All checks passed."

@@ -9,7 +9,7 @@ use drain_netsim::mechanism::NoMechanism;
 use drain_netsim::routing::{EscapeVcRouting, FullyAdaptive, Routing, UpDownAll};
 use drain_netsim::traffic::Endpoints;
 use drain_netsim::{Sim, SimConfig};
-use drain_topology::Topology;
+use drain_topology::IntoSharedTopology;
 
 use crate::ideal::IdealMechanism;
 use crate::spin::SpinMechanism;
@@ -59,7 +59,7 @@ impl Baseline {
 /// up*/down* otherwise, per the paper's §V-B setup). `seed` drives all
 /// stochastic choices.
 pub fn baseline_sim(
-    topo: &Topology,
+    topo: impl IntoSharedTopology,
     baseline: Baseline,
     full_mesh: bool,
     endpoints: Box<dyn Endpoints>,
@@ -73,17 +73,19 @@ pub fn baseline_sim(
 /// Builds a baseline simulation with an explicit configuration (used by the
 /// sensitivity studies that vary VC counts).
 pub fn baseline_sim_with_config(
-    topo: &Topology,
+    topo: impl IntoSharedTopology,
     baseline: Baseline,
     full_mesh: bool,
     endpoints: Box<dyn Endpoints>,
     config: SimConfig,
 ) -> Sim {
+    // One shared topology for the routing function and the core.
+    let topo = topo.into_shared();
     let routing: Box<dyn Routing> = match baseline {
-        Baseline::EscapeVc => Box::new(EscapeVcRouting::auto(topo, full_mesh)),
-        Baseline::UpDown => Box::new(UpDownAll::new(topo)),
+        Baseline::EscapeVc => Box::new(EscapeVcRouting::auto(&topo, full_mesh)),
+        Baseline::UpDown => Box::new(UpDownAll::new(&topo)),
         Baseline::Spin | Baseline::Ideal | Baseline::Unprotected => {
-            Box::new(FullyAdaptive::new(topo))
+            Box::new(FullyAdaptive::new(&topo))
         }
     };
     let mechanism: Box<dyn drain_netsim::mechanism::Mechanism> = match baseline {
@@ -91,7 +93,7 @@ pub fn baseline_sim_with_config(
         Baseline::Ideal => Box::new(IdealMechanism::default()),
         Baseline::EscapeVc | Baseline::UpDown | Baseline::Unprotected => Box::new(NoMechanism),
     };
-    Sim::new(topo.clone(), config, routing, mechanism, endpoints)
+    Sim::new(topo, config, routing, mechanism, endpoints)
 }
 
 #[cfg(test)]
@@ -99,6 +101,7 @@ mod tests {
     use super::*;
     use drain_netsim::traffic::{SyntheticPattern, SyntheticTraffic};
     use drain_topology::faults::FaultInjector;
+    use drain_topology::Topology;
 
     fn traffic(rate: f64, seed: u64) -> Box<dyn Endpoints> {
         Box::new(SyntheticTraffic::new(

@@ -67,6 +67,8 @@ pub struct SpinMechanism {
     freeze_left: u64,
     /// Rotates scan/choice starting points for fairness.
     rotation: u64,
+    /// Scratch for the suspect scan (reused across cycles).
+    scan: Vec<u32>,
 }
 
 impl SpinMechanism {
@@ -77,6 +79,7 @@ impl SpinMechanism {
             probe: None,
             freeze_left: 0,
             rotation: 0,
+            scan: Vec::new(),
         }
     }
 
@@ -133,25 +136,42 @@ impl SpinMechanism {
     }
 
     /// Scans for a VC blocked longer than the timeout.
-    fn find_suspect(&self, core: &SimCore) -> Option<VcRef> {
+    ///
+    /// Walks the core's occupied-VC index instead of every buffer: the
+    /// occupied indices, sorted ascending, are exactly the occupied slots
+    /// of the dense link-major scan, so starting at the first occupied
+    /// slot `>= rotation % total_slots` and wrapping reproduces the
+    /// original circular sweep (which skipped empty VCs anyway) while
+    /// costing O(occupied log occupied) rather than O(total VCs).
+    fn find_suspect(&mut self, core: &SimCore) -> Option<VcRef> {
         let now = core.cycle();
-        let all: Vec<VcRef> = core.vc_refs().collect();
-        if all.is_empty() {
+        let cfg = core.config();
+        let total_slots =
+            (core.topology().num_unidirectional_links() * cfg.vns * cfg.vcs_per_vn) as u64;
+        if total_slots == 0 {
             return None;
         }
-        let start = (self.rotation % all.len() as u64) as usize;
-        for i in 0..all.len() {
-            let r = all[(start + i) % all.len()];
-            let st = core.vc(r);
-            if st.occ.is_none() {
-                continue;
-            }
-            let blocked_for = now.saturating_sub(st.entered_at.max(st.ready_at));
-            if blocked_for >= self.config.timeout {
-                return Some(r);
+        let mut occ = std::mem::take(&mut self.scan);
+        occ.clear();
+        occ.extend_from_slice(core.occupied_vc_indices());
+        occ.sort_unstable();
+        let mut found = None;
+        if !occ.is_empty() {
+            let start = (self.rotation % total_slots) as u32;
+            let pivot = occ.partition_point(|&i| i < start);
+            for k in 0..occ.len() {
+                let idx = occ[(pivot + k) % occ.len()];
+                let r = core.vc_ref_of_index(idx as usize);
+                let st = core.vc(r);
+                let blocked_for = now.saturating_sub(st.entered_at.max(st.ready_at));
+                if blocked_for >= self.config.timeout {
+                    found = Some(r);
+                    break;
+                }
             }
         }
-        None
+        self.scan = occ;
+        found
     }
 
     /// Builds the spin moves for a discovered cycle `cycle[0] -> cycle[1]
@@ -169,6 +189,27 @@ impl SpinMechanism {
 impl Mechanism for SpinMechanism {
     fn name(&self) -> &str {
         "spin"
+    }
+
+    fn idle_until(&self, core: &SimCore) -> u64 {
+        // With no probe in flight and no post-spin freeze, an idle-network
+        // control call only advances the fairness rotation — and the
+        // network's own certificate (every occupied VC still in pipeline
+        // delay) guarantees no suspect can mature mid-jump: a timeout
+        // needs `blocked_for >= timeout`, which requires a VC ready in the
+        // past, and such a VC pins the clock anyway. The elided rotation
+        // increments are rebased in `on_cycles_skipped`.
+        if self.probe.is_none() && self.freeze_left == 0 {
+            u64::MAX
+        } else {
+            core.cycle()
+        }
+    }
+
+    fn on_cycles_skipped(&mut self, cycles: u64) {
+        // One elided control call per skipped cycle; each would have
+        // incremented the rotation exactly once.
+        self.rotation = self.rotation.wrapping_add(cycles);
     }
 
     fn control(&mut self, core: &mut SimCore) -> ControlAction {

@@ -1,36 +1,66 @@
-//! Raw simulator speed: cycles/second for each mechanism at moderate load
-//! (an engineering metric, not a paper figure).
+//! Raw simulator speed of the per-cycle kernel (an engineering metric,
+//! not a paper figure).
+//!
+//! Two presets bracket the sweep grids every paper figure is built from:
+//!
+//! * `low` — 0.5% uniform-random injection, the bottom of the Fig 10/11
+//!   rate grids, where almost every VC buffer is empty and the
+//!   occupancy-driven kernel (active-VC index) earns its keep;
+//! * `saturated` — 40% injection, far past saturation, where nearly every
+//!   buffer is occupied and the kernel must not regress against a plain
+//!   dense sweep.
+//!
+//! Simulation construction (drain-path/routing-table precompute) happens
+//! in the batch setup and is *not* measured — samples time `Sim::run`
+//! only. `scripts/bench_kernel.sh` turns the criterion estimates into
+//! `BENCH_kernel.json`; keep the preset names, rates, and cycle counts in
+//! sync with that script.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use drain_bench::Scheme;
 use drain_netsim::traffic::SyntheticPattern;
 use drain_topology::Topology;
+
+/// Directory-safe scheme ids (criterion mangles `label()`'s punctuation).
+fn scheme_id(s: Scheme) -> &'static str {
+    match s {
+        Scheme::EscapeVc => "escapevc",
+        Scheme::Spin => "spin",
+        _ => "drain",
+    }
+}
 
 fn bench(c: &mut Criterion) {
     let topo = Topology::mesh(8, 8);
     let mut g = c.benchmark_group("sim_kernel");
     g.sample_size(10);
-    const CYCLES: u64 = 5_000;
-    g.throughput(Throughput::Elements(CYCLES));
-    for scheme in Scheme::headline() {
-        g.bench_with_input(
-            BenchmarkId::new("cycles", scheme.label()),
-            &scheme,
-            |b, &s| {
-                b.iter(|| {
-                    let mut sim = s.synthetic_sim(
-                        &topo,
-                        true,
-                        SyntheticPattern::UniformRandom,
-                        0.08,
-                        1,
-                        Scheme::DEFAULT_EPOCH,
+    for (preset, rate, cycles) in [("low", 0.005, 20_000u64), ("saturated", 0.40, 5_000)] {
+        g.throughput(Throughput::Elements(cycles));
+        for scheme in Scheme::headline() {
+            g.bench_with_input(
+                BenchmarkId::new(preset, scheme_id(scheme)),
+                &scheme,
+                |b, &s| {
+                    b.iter_batched(
+                        || {
+                            s.synthetic_sim(
+                                &topo,
+                                true,
+                                SyntheticPattern::UniformRandom,
+                                rate,
+                                1,
+                                Scheme::DEFAULT_EPOCH,
+                            )
+                        },
+                        |mut sim| {
+                            sim.run(cycles);
+                            sim.stats().ejected
+                        },
+                        BatchSize::PerIteration,
                     );
-                    sim.run(CYCLES);
-                    sim.stats().ejected
-                });
-            },
-        );
+                },
+            );
+        }
     }
     g.finish();
 }

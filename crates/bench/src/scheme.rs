@@ -106,8 +106,10 @@ impl Scheme {
                         ..DrainConfig::default()
                     },
                 );
+                // One clone, shared between routing and core.
+                let topo = std::sync::Arc::new(topo.clone());
                 Sim::new(
-                    topo.clone(),
+                    std::sync::Arc::clone(&topo),
                     config,
                     Box::new(FullyAdaptive::new(topo)),
                     Box::new(mech),

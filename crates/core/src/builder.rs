@@ -151,9 +151,12 @@ impl DrainNetworkBuilder {
     /// [`DrainBuildError::Path`] if the topology admits no drain path
     /// (disconnected or linkless).
     pub fn build(self) -> Result<Sim, DrainBuildError> {
-        let path = DrainPath::compute(&self.topo)?;
+        // One shared topology: the drain path reads it, the routing holds
+        // a reference, and the core takes the same allocation.
+        let topo = std::sync::Arc::new(self.topo);
+        let path = DrainPath::compute(&topo)?;
         let mech = DrainMechanism::new(path, self.drain_config);
-        let routing = FullyAdaptive::new(&self.topo);
+        let routing = FullyAdaptive::new(&topo);
         let mut sim_config = self.sim_config;
         sim_config.seed = self.seed;
         let endpoints = self.endpoints.unwrap_or_else(|| {
@@ -165,7 +168,7 @@ impl DrainNetworkBuilder {
             ))
         });
         Ok(Sim::new(
-            self.topo,
+            topo,
             sim_config,
             Box::new(routing),
             Box::new(mech),

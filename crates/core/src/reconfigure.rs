@@ -9,6 +9,8 @@
 //! and routing tables are recomputed, and service resumes on the degraded
 //! network.
 
+use std::sync::Arc;
+
 use drain_netsim::routing::FullyAdaptive;
 use drain_netsim::traffic::{SyntheticPattern, SyntheticTraffic};
 use drain_netsim::{RunOutcome, Sim, SimConfig};
@@ -93,8 +95,11 @@ impl FaultTolerantNetwork {
         if let Some(c) = stop_injection_at {
             traffic = traffic.stop_injection_at(c);
         }
+        // One clone of the (per-epoch) topology, shared between routing
+        // and core.
+        let topo = std::sync::Arc::new(topo.clone());
         Ok(Sim::new(
-            topo.clone(),
+            Arc::clone(&topo),
             sim_config.clone(),
             Box::new(FullyAdaptive::new(topo)),
             Box::new(mech),

@@ -6,7 +6,9 @@
 //! on its own: cyclic buffer dependencies can and do form (that is Fig 3's
 //! point); DRAIN/SPIN make it safe.
 
-use drain_topology::{distance::DistanceMap, Topology};
+use std::sync::Arc;
+
+use drain_topology::{distance::DistanceMap, IntoSharedTopology, Topology};
 
 use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc};
 
@@ -30,7 +32,7 @@ use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc};
 #[derive(Clone, Debug)]
 pub struct FullyAdaptive {
     dmap: DistanceMap,
-    all_links: Vec<Vec<drain_topology::LinkId>>,
+    topo: Arc<Topology>,
     deflect_after: Option<u64>,
 }
 
@@ -40,17 +42,19 @@ pub const DEFAULT_DEFLECT_AFTER: u64 = 16;
 
 impl FullyAdaptive {
     /// Builds the routing for `topo` (computes all-pairs distances), with
-    /// the default deflection pressure threshold.
-    pub fn new(topo: &Topology) -> Self {
+    /// the default deflection pressure threshold. Accepts an owned or
+    /// borrowed topology, or an `Arc` to share one without cloning.
+    pub fn new(topo: impl IntoSharedTopology) -> Self {
         Self::with_deflection(topo, Some(DEFAULT_DEFLECT_AFTER))
     }
 
     /// Builds the routing with an explicit deflection threshold (`None`
     /// = strictly minimal, never deflect).
-    pub fn with_deflection(topo: &Topology, deflect_after: Option<u64>) -> Self {
+    pub fn with_deflection(topo: impl IntoSharedTopology, deflect_after: Option<u64>) -> Self {
+        let topo = topo.into_shared();
         FullyAdaptive {
-            dmap: DistanceMap::new(topo),
-            all_links: topo.nodes().map(|n| topo.out_links(n).to_vec()).collect(),
+            dmap: DistanceMap::new(&topo),
+            topo,
             deflect_after,
         }
     }
@@ -88,7 +92,9 @@ impl Routing for FullyAdaptive {
                 // Never deflect straight back where the packet came from —
                 // that swaps packets endlessly instead of making progress.
                 let back = ctx.arrived_via.map(|l| l.reverse());
-                let rest: Vec<drain_topology::LinkId> = self.all_links[ctx.cur.index()]
+                let rest: Vec<drain_topology::LinkId> = self
+                    .topo
+                    .out_links(ctx.cur)
                     .iter()
                     .copied()
                     .filter(|l| !links.contains(l) && Some(*l) != back)

@@ -4,7 +4,9 @@
 //! graph is acyclic) and is the paper's escape-VC routing on the regular
 //! mesh (Table II).
 
-use drain_topology::{LinkId, NodeId, Topology};
+use std::sync::Arc;
+
+use drain_topology::{IntoSharedTopology, LinkId, NodeId, Topology};
 
 use super::{Candidate, RouteCtx, Routing, TargetVc};
 
@@ -43,21 +45,23 @@ pub fn dor_next_hop(topo: &Topology, cur: NodeId, dest: NodeId) -> Option<LinkId
 /// Pure dimension-order routing on every VC.
 #[derive(Clone, Debug)]
 pub struct DorAll {
-    topo: Topology,
+    topo: Arc<Topology>,
 }
 
 impl DorAll {
-    /// Builds XY routing for a mesh topology.
+    /// Builds XY routing for a mesh topology. Accepts an owned or borrowed
+    /// topology, or an `Arc` to share one without cloning.
     ///
     /// # Panics
     ///
     /// Panics if `topo` lacks mesh coordinates.
-    pub fn new(topo: &Topology) -> Self {
+    pub fn new(topo: impl IntoSharedTopology) -> Self {
+        let topo = topo.into_shared();
         assert!(
             topo.coord(NodeId(0)).is_some(),
             "DoR requires a mesh-derived topology"
         );
-        DorAll { topo: topo.clone() }
+        DorAll { topo }
     }
 }
 

@@ -7,7 +7,11 @@
 //! adaptive ones), which is what makes the scheme deadlock-free by Duato's
 //! theory; the escape VC is sticky.
 
-use drain_topology::{distance::DistanceMap, updown::UpDownRouting, Topology};
+use std::sync::Arc;
+
+use drain_topology::{
+    distance::DistanceMap, updown::UpDownRouting, IntoSharedTopology, Topology,
+};
 
 use super::{dor_next_hop, push_rotated, Candidate, RouteCtx, Routing, TargetVc};
 
@@ -15,7 +19,7 @@ use super::{dor_next_hop, push_rotated, Candidate, RouteCtx, Routing, TargetVc};
 #[derive(Clone, Debug)]
 pub enum EscapeKind {
     /// Dimension-order XY (only valid on full meshes).
-    Dor(Topology),
+    Dor(Arc<Topology>),
     /// Topology-agnostic up*/down*.
     UpDown(UpDownRouting),
 }
@@ -34,29 +38,31 @@ impl EscapeVcRouting {
     /// # Panics
     ///
     /// Panics if `topo` lacks mesh coordinates.
-    pub fn with_dor(topo: &Topology) -> Self {
+    pub fn with_dor(topo: impl IntoSharedTopology) -> Self {
+        let topo = topo.into_shared();
         assert!(
             topo.coord(drain_topology::NodeId(0)).is_some(),
             "DoR escape requires a mesh topology"
         );
         EscapeVcRouting {
-            dmap: DistanceMap::new(topo),
-            escape: EscapeKind::Dor(topo.clone()),
+            dmap: DistanceMap::new(&topo),
+            escape: EscapeKind::Dor(topo),
         }
     }
 
     /// Escape VC uses up*/down*: the paper's configuration on irregular
     /// (faulty) topologies.
-    pub fn with_updown(topo: &Topology) -> Self {
+    pub fn with_updown(topo: impl IntoSharedTopology) -> Self {
+        let topo = topo.into_shared();
         EscapeVcRouting {
-            dmap: DistanceMap::new(topo),
-            escape: EscapeKind::UpDown(UpDownRouting::new(topo)),
+            dmap: DistanceMap::new(&topo),
+            escape: EscapeKind::UpDown(UpDownRouting::new(&topo)),
         }
     }
 
     /// Chooses DoR when the mesh is intact, up*/down* otherwise — the
     /// paper's per-fault-count configuration rule.
-    pub fn auto(topo: &Topology, full_mesh: bool) -> Self {
+    pub fn auto(topo: impl IntoSharedTopology, full_mesh: bool) -> Self {
         if full_mesh {
             Self::with_dor(topo)
         } else {

@@ -14,7 +14,9 @@
 //! limitation the paper's §I holds against proactive schemes ("limited to
 //! static, regular topologies").
 
-use drain_topology::{LinkId, NodeId, Topology};
+use std::sync::Arc;
+
+use drain_topology::{IntoSharedTopology, LinkId, NodeId, Topology};
 
 use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc};
 
@@ -30,25 +32,24 @@ pub enum TurnModelKind {
 /// Partially adaptive turn-model routing on a full mesh.
 #[derive(Clone, Debug)]
 pub struct TurnModel {
-    topo: Topology,
+    topo: Arc<Topology>,
     kind: TurnModelKind,
 }
 
 impl TurnModel {
-    /// Builds the routing.
+    /// Builds the routing. Accepts an owned or borrowed topology, or an
+    /// `Arc` to share one without cloning.
     ///
     /// # Panics
     ///
     /// Panics if `topo` is not mesh-derived (no coordinates).
-    pub fn new(topo: &Topology, kind: TurnModelKind) -> Self {
+    pub fn new(topo: impl IntoSharedTopology, kind: TurnModelKind) -> Self {
+        let topo = topo.into_shared();
         assert!(
             topo.coord(NodeId(0)).is_some(),
             "turn models require a mesh topology"
         );
-        TurnModel {
-            topo: topo.clone(),
-            kind,
-        }
+        TurnModel { topo, kind }
     }
 
     /// The model in use.

@@ -14,7 +14,7 @@ use crate::stats::Stats;
 use crate::trace::{self, TraceEvent, TraceSink};
 use crate::traffic::Endpoints;
 use crate::SimConfig;
-use drain_topology::Topology;
+use drain_topology::IntoSharedTopology;
 
 /// Why a bounded run stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -44,6 +44,12 @@ pub struct Sim {
     stop_on_deadlock: bool,
     violation: Option<Violation>,
     flight_record: Option<PathBuf>,
+    /// Idle cycles elided by fast-forward (simulator-speed accounting
+    /// only — deliberately *not* part of [`Stats`], which must be
+    /// bit-identical with fast-forward on or off).
+    ff_cycles_skipped: u64,
+    /// Number of fast-forward jumps taken.
+    ff_jumps: u64,
 }
 
 // Compile-time audit of the `Send` guarantee documented above: building a
@@ -62,7 +68,7 @@ impl Sim {
     ///
     /// Panics if `config` is invalid.
     pub fn new(
-        topo: Topology,
+        topo: impl IntoSharedTopology,
         config: SimConfig,
         routing: Box<dyn crate::routing::Routing>,
         mechanism: Box<dyn Mechanism>,
@@ -75,6 +81,8 @@ impl Sim {
             stop_on_deadlock: false,
             violation: None,
             flight_record: None,
+            ff_cycles_skipped: 0,
+            ff_jumps: 0,
         }
     }
 
@@ -82,6 +90,14 @@ impl Sim {
     pub fn stop_on_deadlock(mut self, stop: bool) -> Self {
         self.stop_on_deadlock = stop;
         self
+    }
+
+    /// Forces the idle-cycle fast-forward gate (see
+    /// [`SimConfig::fast_forward`]) on or off for an assembled simulation.
+    /// Results are bit-identical either way; differential tests use this to
+    /// prove it.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.core.set_fast_forward(enabled);
     }
 
     /// The simulation state.
@@ -257,6 +273,63 @@ impl Sim {
         }
     }
 
+    /// Idle cycles elided by fast-forward so far (see
+    /// [`SimConfig::fast_forward`]). Not part of [`Stats`]: results are
+    /// bit-identical whether cycles were stepped or skipped.
+    pub fn ff_cycles_skipped(&self) -> u64 {
+        self.ff_cycles_skipped
+    }
+
+    /// Number of fast-forward jumps taken so far.
+    pub fn ff_jumps(&self) -> u64 {
+        self.ff_jumps
+    }
+
+    /// Attempts an idle-cycle fast-forward after a completed step: when
+    /// the network, the mechanism and the endpoints all certify that every
+    /// cycle before `t` would be a pure no-op, jump the clock straight to
+    /// `min(t, end)`. Returns whether the clock moved.
+    fn maybe_fast_forward(&mut self, end: u64) -> bool {
+        // The network's certificate also encodes the gates: fast-forward
+        // disabled, tracing/telemetry/per-cycle checks active, queued
+        // injections, ejection backlog, or an allocation-eligible VC all
+        // yield `None`.
+        let Some(net) = self.core.net_idle_until() else {
+            return false;
+        };
+        let now = self.core.cycle();
+        let mut t = net
+            .min(self.mechanism.idle_until(&self.core))
+            .min(self.endpoints.idle_until(&self.core))
+            .min(end);
+        // Instrumentation that is not idempotent pins its own horizon
+        // while packets are in flight: the structural detector convicts
+        // on *every* sweep boundary (`deadlocks_detected` grows), and the
+        // watchdog's first trip must land on its exact cycle. An empty
+        // network triggers neither.
+        if self.core.packets_in_network() > 0 {
+            let interval = self.core.config().deadlock_check_interval;
+            if interval > 0 {
+                t = t.min(now + (interval - 1 - now % interval));
+            }
+            let wd = self.core.config().watchdog_threshold;
+            if wd > 0 && !self.core.stats.watchdog_deadlock {
+                t = t.min(self.core.stats.last_progress_cycle.saturating_add(wd + 1));
+            }
+        }
+        if t <= now {
+            return false;
+        }
+        let skipped = t - now;
+        self.core.fast_forward_to(t);
+        // `skipped` mechanism control calls (each of which would have
+        // returned `Normal`) were elided; let it rebase countdowns.
+        self.mechanism.on_cycles_skipped(skipped);
+        self.ff_cycles_skipped += skipped;
+        self.ff_jumps += 1;
+        true
+    }
+
     /// Runs for up to `cycles` cycles, honouring early-stop conditions.
     pub fn run(&mut self, cycles: u64) -> RunOutcome {
         let end = self.core.cycle() + cycles;
@@ -269,6 +342,16 @@ impl Sim {
                 return RunOutcome::Deadlocked;
             }
             if self.endpoints.finished(&self.core) {
+                return RunOutcome::WorkloadFinished;
+            }
+            // Skip provably idle stretches. A jump cannot create work, but
+            // it can reach the cycle at which a quiesced workload reports
+            // completion — re-check so the outcome (and the cycle it is
+            // reported at) matches per-cycle stepping exactly.
+            if self.core.cycle() < end
+                && self.maybe_fast_forward(end)
+                && self.endpoints.finished(&self.core)
+            {
                 return RunOutcome::WorkloadFinished;
             }
         }

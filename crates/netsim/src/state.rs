@@ -20,15 +20,16 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use drain_topology::{distance::DistanceMap, LinkId, NodeId, Topology};
+use drain_topology::{distance::DistanceMap, IntoSharedTopology, LinkId, NodeId, Topology};
 
 use crate::config::SimConfig;
 use crate::mechanism::{ForcedKind, ForcedMove};
 use crate::packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
 use crate::routing::{Candidate, RouteCtx, Routing, TargetVc};
 use crate::stats::Stats;
-use crate::telemetry::{RouterTelemetry, Telemetry};
+use crate::telemetry::Telemetry;
 use crate::trace::{TraceEvent, Tracer};
 
 /// Reference to one VC buffer: the input port of `link`'s head router,
@@ -80,7 +81,7 @@ struct LinkRequest {
 
 /// The simulator state plus allocation engine.
 pub struct SimCore {
-    topo: Topology,
+    topo: Arc<Topology>,
     config: SimConfig,
     routing: Box<dyn Routing>,
     dmap: DistanceMap,
@@ -98,12 +99,30 @@ pub struct SimCore {
     pub stats: Stats,
     /// Current cycle.
     cycle: u64,
-    /// Packets currently occupying VC buffers.
-    in_network: usize,
+    /// Active-VC index, dense half: the link-major array index of every
+    /// occupied VC, in arbitrary order (swap-remove keeps vacate O(1)).
+    active: Vec<u32>,
+    /// Active-VC index, slot half: `active_pos[idx]` is the position of
+    /// `idx` inside `active`, or `u32::MAX` when the VC is empty.
+    active_pos: Vec<u32>,
+    /// Cached `config.total_vcs()` (the link-major stride).
+    stride: usize,
+    /// Number of non-empty injection queues (skips the Phase A injection
+    /// sweep and gates fast-forward).
+    nonempty_inj: usize,
+    /// Packets parked in ejection queues (counter form of
+    /// [`SimCore::ejection_backlog`]).
+    ej_backlog: usize,
     rng: ChaCha8Rng,
     /// Scratch buffers reused across cycles.
     cand_buf: Vec<Candidate>,
     req_buf: Vec<Vec<LinkRequest>>,
+    /// Links with at least one pending request this cycle.
+    req_links: Vec<u32>,
+    /// Phase A scan order scratch (sorted copy of `active`).
+    active_scratch: Vec<u32>,
+    /// Ejection-request scratch.
+    eject_buf: Vec<(usize, usize, PacketId)>,
     /// Structured event bus (see [`crate::trace`]).
     tracer: Tracer,
     /// Telemetry sampler (see [`crate::telemetry`]).
@@ -116,8 +135,13 @@ impl SimCore {
     /// # Panics
     ///
     /// Panics if `config` is invalid (see [`SimConfig::validate`]).
-    pub fn new(topo: Topology, config: SimConfig, routing: Box<dyn Routing>) -> Self {
+    pub fn new(
+        topo: impl IntoSharedTopology,
+        config: SimConfig,
+        routing: Box<dyn Routing>,
+    ) -> Self {
         config.validate();
+        let topo = topo.into_shared();
         let dmap = DistanceMap::new(&topo);
         let m = topo.num_unidirectional_links();
         let n = topo.num_nodes();
@@ -134,10 +158,17 @@ impl SimCore {
             packets: PacketSlab::new(),
             stats: Stats::new(),
             cycle: 0,
-            in_network: 0,
+            active: Vec::new(),
+            active_pos: vec![u32::MAX; m * total_vcs],
+            stride: total_vcs,
+            nonempty_inj: 0,
+            ej_backlog: 0,
             rng,
             cand_buf: Vec::new(),
             req_buf: (0..m).map(|_| Vec::new()).collect(),
+            req_links: Vec::new(),
+            active_scratch: Vec::new(),
+            eject_buf: Vec::new(),
             tracer,
             telem,
             dmap,
@@ -152,9 +183,22 @@ impl SimCore {
         &self.topo
     }
 
+    /// Shared handle to the topology (components that keep their own
+    /// reference — routing functions, drain paths — clone this instead of
+    /// deep-copying the graph).
+    pub fn shared_topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Forces the idle-cycle fast-forward gate on or off (see
+    /// [`SimConfig::fast_forward`]).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.config.fast_forward = enabled;
     }
 
     /// The routing function's name.
@@ -169,7 +213,7 @@ impl SimCore {
 
     /// Number of packets currently inside VC buffers.
     pub fn packets_in_network(&self) -> usize {
-        self.in_network
+        self.active.len()
     }
 
     /// Number of live packets anywhere (queues + network).
@@ -219,9 +263,93 @@ impl SimCore {
 
     #[inline]
     fn vc_index(&self, r: VcRef) -> usize {
-        r.link.index() * self.config.total_vcs()
-            + r.vn as usize * self.config.vcs_per_vn
-            + r.vc as usize
+        r.link.index() * self.stride + r.vn as usize * self.config.vcs_per_vn + r.vc as usize
+    }
+
+    /// The [`VcRef`] addressed by a link-major VC array index (inverse of
+    /// the layout used by [`SimCore::occupied_vc_indices`]).
+    pub fn vc_ref_of_index(&self, idx: usize) -> VcRef {
+        let rem = idx % self.stride;
+        VcRef {
+            link: LinkId((idx / self.stride) as u32),
+            vn: (rem / self.config.vcs_per_vn) as u8,
+            vc: (rem % self.config.vcs_per_vn) as u8,
+        }
+    }
+
+    /// Link-major array indices of every occupied VC, in arbitrary order.
+    ///
+    /// This is the live active-VC index: O(occupied) to walk instead of
+    /// O(links × VCs). Callers that need the dense sweep's deterministic
+    /// order must sort a copy ascending (link-major indices sort exactly
+    /// like the `link, vn, vc` loop nest). Map entries back to buffers
+    /// with [`SimCore::vc_ref_of_index`].
+    pub fn occupied_vc_indices(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Cross-validates the active-VC index against the dense buffer array:
+    /// every occupied VC must be indexed exactly once, every indexed slot
+    /// must be occupied, and the two index halves must agree. Used by the
+    /// deep invariant sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch found.
+    pub fn validate_active_index(&self) -> Result<(), String> {
+        let occupied = self.vcs.iter().filter(|s| s.occ.is_some()).count();
+        if occupied != self.active.len() {
+            return Err(format!(
+                "active index holds {} entries but {} VCs are occupied",
+                self.active.len(),
+                occupied
+            ));
+        }
+        for (idx, st) in self.vcs.iter().enumerate() {
+            let pos = self.active_pos[idx];
+            match (st.occ.is_some(), pos != u32::MAX) {
+                (true, false) => {
+                    return Err(format!("occupied VC {:?} missing from active index",
+                        self.vc_ref_of_index(idx)));
+                }
+                (false, true) => {
+                    return Err(format!("empty VC {:?} present in active index",
+                        self.vc_ref_of_index(idx)));
+                }
+                (true, true) => {
+                    if self.active.get(pos as usize) != Some(&(idx as u32)) {
+                        return Err(format!(
+                            "active index slot mismatch for VC {:?} (pos {})",
+                            self.vc_ref_of_index(idx),
+                            pos
+                        ));
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers `idx` as occupied in the active-VC index.
+    #[inline]
+    fn activate(&mut self, idx: usize) {
+        debug_assert_eq!(self.active_pos[idx], u32::MAX, "VC already indexed");
+        self.active_pos[idx] = self.active.len() as u32;
+        self.active.push(idx as u32);
+    }
+
+    /// Removes `idx` from the active-VC index (swap-remove, O(1)).
+    #[inline]
+    fn deactivate(&mut self, idx: usize) {
+        let pos = self.active_pos[idx] as usize;
+        debug_assert_eq!(self.active[pos], idx as u32, "active index corrupted");
+        self.active_pos[idx] = u32::MAX;
+        let last = self.active.pop().expect("active list is non-empty");
+        if pos < self.active.len() {
+            self.active[pos] = last;
+            self.active_pos[last as usize] = pos as u32;
+        }
     }
 
     /// State of one VC buffer.
@@ -274,7 +402,7 @@ impl SimCore {
     /// Total packets currently parked in ejection queues (delivered but
     /// not yet consumed by the endpoint model).
     pub fn ejection_backlog(&self) -> usize {
-        self.ej.iter().map(VecDeque::len).sum()
+        self.ej_backlog
     }
 
     /// Packet ids waiting in a node's per-class injection queue, head
@@ -340,6 +468,9 @@ impl SimCore {
             tag,
         });
         let q = self.qidx(src, class);
+        if self.inj[q].is_empty() {
+            self.nonempty_inj += 1;
+        }
         self.inj[q].push_back(pid);
         self.stats.generated += 1;
         Some(pid)
@@ -376,6 +507,9 @@ impl SimCore {
             tag,
         });
         let q = self.qidx(src, class);
+        if self.inj[q].is_empty() {
+            self.nonempty_inj += 1;
+        }
         self.inj[q].push_back(pid);
         self.stats.generated += 1;
         Some(pid)
@@ -393,6 +527,7 @@ impl SimCore {
     pub fn pop_ejection(&mut self, node: NodeId, class: MessageClass) -> Option<Delivered> {
         let q = self.qidx(node, class);
         let pid = self.ej[q].pop_front()?;
+        self.ej_backlog -= 1;
         let packet = self.packets.remove(pid);
         Some(Delivered { packet, id: pid })
     }
@@ -480,6 +615,50 @@ impl SimCore {
         self.cycle += 1;
     }
 
+    /// The earliest future cycle at which the *network* could act, or
+    /// `None` when the current cycle cannot be skipped.
+    ///
+    /// `Some(t)` promises that running the per-cycle engine for every
+    /// cycle in `(now, t)` would be a pure no-op: no RNG draw, no state
+    /// change, no stat update. That holds exactly when
+    ///
+    /// * every observer needing per-cycle ticks is off (fast-forward gate,
+    ///   tracing, telemetry, per-cycle invariant checks),
+    /// * all injection queues are empty (a queued head draws one RNG
+    ///   sample per cycle) and no ejection backlog remains (endpoint
+    ///   models consume deliveries on per-cycle ticks),
+    /// * no occupied VC is allocation-eligible before `t` (an eligible
+    ///   but blocked VC has `ready_at <= now`, which yields `None` — so
+    ///   congested cycles are never skipped).
+    ///
+    /// An empty network returns `Some(u64::MAX)`; mechanism and endpoint
+    /// horizons bound the actual jump (see [`crate::sim::Sim::run`]).
+    pub(crate) fn net_idle_until(&self) -> Option<u64> {
+        if !self.config.fast_forward
+            || self.tracer.enabled()
+            || self.telem.active()
+            || self.config.checks.any_per_cycle()
+        {
+            return None;
+        }
+        if self.nonempty_inj > 0 || self.ej_backlog > 0 {
+            return None;
+        }
+        let mut t = u64::MAX;
+        for &idx in &self.active {
+            t = t.min(self.vcs[idx as usize].ready_at);
+        }
+        (t > self.cycle).then_some(t)
+    }
+
+    /// Jumps the clock forward to `t` (idle-cycle fast-forward). Only
+    /// legal when [`SimCore::net_idle_until`] proved the skipped cycles
+    /// are no-ops.
+    pub(crate) fn fast_forward_to(&mut self, t: u64) {
+        debug_assert!(t > self.cycle);
+        self.cycle = t;
+    }
+
     /// Takes a telemetry sample when the current cycle closes a sampling
     /// window. Called by the driver once per cycle; the O(VCs + routers)
     /// sweep runs only on window boundaries.
@@ -492,21 +671,14 @@ impl SimCore {
             return;
         }
         let n = self.topo.num_nodes();
-        let mut routers: Vec<RouterTelemetry> = (0..n)
-            .map(|_| RouterTelemetry {
-                occupied_vcs: 0,
-                inj_depth: 0,
-                ej_depth: 0,
-                credit_stalls: 0,
-            })
-            .collect();
-        // VC buffers sit at the input of their link's destination router.
-        let total_vcs = self.config.total_vcs();
-        for (idx, st) in self.vcs.iter().enumerate() {
-            if st.occ.is_some() {
-                let link = LinkId((idx / total_vcs) as u32);
-                routers[self.topo.link(link).dst.index()].occupied_vcs += 1;
-            }
+        // A recycled scratch vector — sampling allocates nothing in steady
+        // state (see [`Telemetry::checkout_routers`]).
+        let mut routers = self.telem.checkout_routers(n);
+        // VC buffers sit at the input of their link's destination router;
+        // only occupied ones contribute, so walk the active index.
+        for &idx in &self.active {
+            let link = LinkId(idx / self.stride as u32);
+            routers[self.topo.link(link).dst.index()].occupied_vcs += 1;
         }
         for (q, queue) in self.inj.iter().enumerate() {
             routers[q / self.config.num_classes].inj_depth += queue.len() as u32;
@@ -521,94 +693,81 @@ impl SimCore {
     /// link and one ejection per (node, class), and commits the moves.
     pub(crate) fn allocate_and_move(&mut self) {
         let now = self.cycle;
-        let vns = self.config.vns as u8;
-        let vcs = self.config.vcs_per_vn as u8;
-        // Ejection requests: (node, class) -> requesting VC indices.
-        let mut eject_reqs: Vec<(usize, usize, PacketId)> = Vec::new();
 
-        // Phase A: VC requests.
-        let num_links = self.topo.num_unidirectional_links();
-        for li in 0..num_links {
-            let link = LinkId(li as u32);
-            for vn in 0..vns {
-                for vc in 0..vcs {
-                    let r = VcRef { link, vn, vc };
-                    let idx = self.vc_index(r);
-                    let Some(pid) = self.vcs[idx].occ else {
-                        continue;
-                    };
-                    if self.vcs[idx].ready_at > now {
-                        continue;
-                    }
-                    let p = self.packets.get(pid);
-                    let here = self.topo.link(link).dst;
-                    if p.dest == here {
-                        eject_reqs.push((self.qidx(here, p.class), idx, pid));
-                        continue;
-                    }
-                    let sample = self.rng.gen::<u64>();
-                    let in_escape = self.config.escape_sticky && vc == 0;
-                    let st = &self.vcs[idx];
-                    let blocked_for = now.saturating_sub(st.entered_at.max(st.ready_at));
-                    let ctx = RouteCtx {
-                        cur: here,
-                        dest: p.dest,
-                        arrived_via: Some(link),
-                        in_escape,
-                        blocked_for,
-                        sample,
-                    };
-                    let class_vn = self.config.vn_of_class(p.class) as u8;
-                    debug_assert_eq!(class_vn, vn, "packet must sit in its class VN");
-                    // Escape VCs are a last resort: only packets blocked for
-                    // the configured patience may fall back into one
-                    // (packets already in an escape VC must continue there).
-                    let allow_escape = in_escape
-                        || self.escape_always_allowed()
-                        || blocked_for >= self.config.escape_entry_patience;
-                    let registered =
-                        self.push_first_feasible(ctx, vn, MoveSource::Vc(idx), pid, allow_escape);
-                    // A resident packet that cannot even request a move is
-                    // credit-stalled at its current router.
-                    if !registered && self.telem.active() {
-                        self.telem.note_credit_stalls(here.index(), 1);
+        // Phase A: VC requests, visiting occupied buffers in ascending
+        // link-major index order — the exact order of the former dense
+        // `link, vn, vc` loop nest, so RNG draws and trace events land on
+        // identical buffers in identical sequence.
+        let mut eject_reqs = std::mem::take(&mut self.eject_buf);
+        eject_reqs.clear();
+        if self.active.len() * 8 >= self.vcs.len() {
+            // Near saturation the dense loop nest is cheaper than
+            // copy + sort, visits the same buffers in the same order, and
+            // gets link/vc as loop counters instead of divisions.
+            let num_links = self.topo.num_unidirectional_links();
+            let vns = self.config.vns;
+            let vcs_per_vn = self.config.vcs_per_vn;
+            for li in 0..num_links {
+                let link = LinkId(li as u32);
+                let base = li * self.stride;
+                for vn in 0..vns {
+                    for vc in 0..vcs_per_vn {
+                        let idx = base + vn * vcs_per_vn + vc;
+                        if self.vcs[idx].occ.is_some() {
+                            self.phase_a_vc(idx, link, vc as u8, &mut eject_reqs);
+                        }
                     }
                 }
             }
+        } else {
+            let mut scan = std::mem::take(&mut self.active_scratch);
+            scan.clear();
+            scan.extend_from_slice(&self.active);
+            scan.sort_unstable();
+            for &iu in &scan {
+                let idx = iu as usize;
+                let link = LinkId((idx / self.stride) as u32);
+                let vc = (idx % self.config.vcs_per_vn) as u8;
+                self.phase_a_vc(idx, link, vc, &mut eject_reqs);
+            }
+            self.active_scratch = scan;
         }
-        // Phase A: injection requests (head of each per-class queue).
-        let num_nodes = self.topo.num_nodes();
-        for ni in 0..num_nodes {
-            let node = NodeId(ni as u16);
-            for class in 0..self.config.num_classes {
-                let class = MessageClass(class as u8);
-                let q = self.qidx(node, class);
-                let Some(&pid) = self.inj[q].front() else {
-                    continue;
-                };
-                let p = self.packets.get(pid);
-                let sample = self.rng.gen::<u64>();
-                // Source-queue waiting is ordinary queueing, not deadlock
-                // pressure: a waiting injection holds no network resource,
-                // so it neither deflects nor claims the escape VC (it can
-                // always keep waiting for a non-escape buffer).
-                let ctx = RouteCtx {
-                    cur: node,
-                    dest: p.dest,
-                    arrived_via: None,
-                    in_escape: false,
-                    blocked_for: 0,
-                    sample,
-                };
-                let vn = self.config.vn_of_class(class) as u8;
-                let allow_escape = self.escape_always_allowed();
-                self.push_first_feasible(
-                    ctx,
-                    vn,
-                    MoveSource::Injection { node, class },
-                    pid,
-                    allow_escape,
-                );
+        // Phase A: injection requests (head of each per-class queue);
+        // skipped wholesale when every queue is empty.
+        if self.nonempty_inj > 0 {
+            let num_nodes = self.topo.num_nodes();
+            for ni in 0..num_nodes {
+                let node = NodeId(ni as u16);
+                for class in 0..self.config.num_classes {
+                    let class = MessageClass(class as u8);
+                    let q = self.qidx(node, class);
+                    let Some(&pid) = self.inj[q].front() else {
+                        continue;
+                    };
+                    let p = self.packets.get(pid);
+                    let sample = self.rng.gen::<u64>();
+                    // Source-queue waiting is ordinary queueing, not deadlock
+                    // pressure: a waiting injection holds no network resource,
+                    // so it neither deflects nor claims the escape VC (it can
+                    // always keep waiting for a non-escape buffer).
+                    let ctx = RouteCtx {
+                        cur: node,
+                        dest: p.dest,
+                        arrived_via: None,
+                        in_escape: false,
+                        blocked_for: 0,
+                        sample,
+                    };
+                    let vn = self.config.vn_of_class(class) as u8;
+                    let allow_escape = self.escape_always_allowed();
+                    self.push_first_feasible(
+                        ctx,
+                        vn,
+                        MoveSource::Injection { node, class },
+                        pid,
+                        allow_escape,
+                    );
+                }
             }
         }
 
@@ -647,24 +806,83 @@ impl SimCore {
             }
             gi = ge;
         }
+        self.eject_buf = eject_reqs;
 
         // Phase B: link grants — one per output link, oldest requester
         // first (age-based arbitration bounds worst-case blocking, as in
-        // real NoC allocators); rotation breaks ties.
-        for li in 0..self.req_buf.len() {
-            if self.req_buf[li].is_empty() {
-                continue;
-            }
+        // real NoC allocators); rotation breaks ties. Only links that
+        // received a request are visited, in ascending id order (the
+        // former dense sweep's order).
+        let mut req_links = std::mem::take(&mut self.req_links);
+        req_links.sort_unstable();
+        for &liu in &req_links {
+            let li = liu as usize;
             let reqs = std::mem::take(&mut self.req_buf[li]);
             let rot = (now as usize + li) % reqs.len();
             let win = (0..reqs.len())
                 .max_by_key(|&i| (reqs[i].blocked_for, usize::from(i == rot)))
                 .expect("non-empty request list");
             let req = &reqs[win];
-            self.commit_move(req, LinkId(li as u32));
+            self.commit_move(req, LinkId(liu));
             let mut reqs = reqs;
             reqs.clear();
             self.req_buf[li] = reqs;
+        }
+        req_links.clear();
+        self.req_links = req_links;
+    }
+
+    /// Phase A body for one occupied VC buffer: eject request, or a routed
+    /// move request (one RNG draw per visited ready non-ejecting head —
+    /// the determinism contract's draw schedule).
+    #[inline]
+    fn phase_a_vc(
+        &mut self,
+        idx: usize,
+        link: LinkId,
+        vc: u8,
+        eject_reqs: &mut Vec<(usize, usize, PacketId)>,
+    ) {
+        let now = self.cycle;
+        let st = self.vcs[idx];
+        let pid = st.occ.expect("phase A visits only occupied VCs");
+        if st.ready_at > now {
+            return;
+        }
+        let p = self.packets.get(pid);
+        let here = self.topo.link(link).dst;
+        if p.dest == here {
+            eject_reqs.push((self.qidx(here, p.class), idx, pid));
+            return;
+        }
+        let sample = self.rng.gen::<u64>();
+        let in_escape = self.config.escape_sticky && vc == 0;
+        let blocked_for = now.saturating_sub(st.entered_at.max(st.ready_at));
+        let ctx = RouteCtx {
+            cur: here,
+            dest: p.dest,
+            arrived_via: Some(link),
+            in_escape,
+            blocked_for,
+            sample,
+        };
+        let vn = self.config.vn_of_class(p.class) as u8;
+        debug_assert_eq!(
+            vn,
+            ((idx % self.stride) / self.config.vcs_per_vn) as u8,
+            "packet must sit in its class VN"
+        );
+        // Escape VCs are a last resort: only packets blocked for
+        // the configured patience may fall back into one
+        // (packets already in an escape VC must continue there).
+        let allow_escape = in_escape
+            || self.escape_always_allowed()
+            || blocked_for >= self.config.escape_entry_patience;
+        let registered = self.push_first_feasible(ctx, vn, MoveSource::Vc(idx), pid, allow_escape);
+        // A resident packet that cannot even request a move is
+        // credit-stalled at its current router.
+        if !registered && self.telem.active() {
+            self.telem.note_credit_stalls(here.index(), 1);
         }
     }
 
@@ -714,7 +932,11 @@ impl SimCore {
         }
         self.cand_buf = cands;
         if let Some((link, target)) = chosen {
-            self.req_buf[link.index()].push(LinkRequest {
+            let li = link.index();
+            if self.req_buf[li].is_empty() {
+                self.req_links.push(li as u32);
+            }
+            self.req_buf[li].push(LinkRequest {
                 source,
                 pid,
                 target,
@@ -756,12 +978,15 @@ impl SimCore {
                 debug_assert_eq!(s.occ, Some(req.pid));
                 s.occ = None;
                 s.free_at = now + len;
-                self.in_network -= 1;
+                self.deactivate(idx);
             }
             MoveSource::Injection { node, class } => {
                 let q = self.qidx(node, class);
                 let popped = self.inj[q].pop_front();
                 debug_assert_eq!(popped, Some(req.pid));
+                if self.inj[q].is_empty() {
+                    self.nonempty_inj -= 1;
+                }
                 let p = self.packets.get_mut(req.pid);
                 p.inject_cycle = now;
                 self.stats.injected += 1;
@@ -794,7 +1019,7 @@ impl SimCore {
         slot.occ = Some(req.pid);
         slot.ready_at = arrive;
         slot.entered_at = now;
-        self.in_network += 1;
+        self.activate(tidx);
         self.link_busy[out_link.index()] = now + p_len;
         // Packet bookkeeping.
         let to_node = self.topo.link(out_link).dst;
@@ -861,7 +1086,7 @@ impl SimCore {
         debug_assert_eq!(s.occ, Some(pid));
         s.occ = None;
         s.free_at = now + len;
-        self.in_network -= 1;
+        self.deactivate(vc_idx);
         self.finish_delivery(pid, false);
     }
 
@@ -876,6 +1101,7 @@ impl SimCore {
         let q = self.qidx(dest, class);
         debug_assert!(self.ej[q].len() < self.config.ej_queue_capacity || via_drain);
         self.ej[q].push_back(pid);
+        self.ej_backlog += 1;
         self.packets.get_mut(pid).loc = Location::EjectionQueue(dest);
         let net = now.saturating_sub(inject) + len;
         let total = now.saturating_sub(birth) + len;
@@ -943,7 +1169,7 @@ impl SimCore {
             let s = &mut self.vcs[fidx];
             s.occ = None;
             s.free_at = now + len;
-            self.in_network -= 1;
+            self.deactivate(fidx);
         }
         // Fill targets / eject.
         let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
@@ -1000,7 +1226,7 @@ impl SimCore {
             slot.occ = Some(pid);
             slot.ready_at = arrive;
             slot.entered_at = now;
-            self.in_network += 1;
+            self.activate(tidx);
             self.packets.get_mut(pid).loc = Location::Vc {
                 link: to.link,
                 vn: to.vn,
@@ -1060,7 +1286,7 @@ impl SimCore {
         self.vcs[idx].occ = Some(pid);
         self.vcs[idx].ready_at = self.cycle;
         self.vcs[idx].entered_at = self.cycle;
-        self.in_network += 1;
+        self.activate(idx);
         self.stats.generated += 1;
         self.stats.injected += 1;
         pid
@@ -1084,7 +1310,7 @@ impl SimCore {
         };
         self.vcs[idx].occ = None;
         self.vcs[idx].free_at = self.cycle;
-        self.in_network -= 1;
+        self.deactivate(idx);
         self.stats.oracle_resolutions += 1;
         self.finish_delivery(pid, true);
     }
@@ -1101,7 +1327,7 @@ impl std::fmt::Debug for SimCore {
         f.debug_struct("SimCore")
             .field("topology", &self.topo.name())
             .field("cycle", &self.cycle)
-            .field("in_network", &self.in_network)
+            .field("in_network", &self.active.len())
             .field("live_packets", &self.packets.len())
             .field("routing", &self.routing.name())
             .finish()

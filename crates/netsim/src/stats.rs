@@ -4,7 +4,7 @@
 /// Bucketed latency histogram: exact up to `EXACT` cycles, then power-of-two
 /// buckets — enough resolution for the paper's mean and 99th-percentile
 /// latency plots.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LatencyHistogram {
     exact: Vec<u64>,
     coarse: Vec<u64>,
@@ -124,7 +124,10 @@ impl LatencyHistogram {
 }
 
 /// Aggregated statistics for one simulation.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter and histogram exactly — the
+/// fast-forward differential tests rely on it to prove bit-identity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Packets created by endpoints.
     pub generated: u64,

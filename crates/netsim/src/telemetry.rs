@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use crate::trace::TraceConfig;
 
 /// One router's state at a sample boundary.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RouterTelemetry {
     /// VC buffers (across this router's input ports) currently occupied.
     pub occupied_vcs: u32,
@@ -75,6 +75,10 @@ pub struct Telemetry {
     samples: VecDeque<TelemetrySample>,
     taken: u64,
     dropped: u64,
+    /// Recycled per-router scratch vectors: samples evicted from the
+    /// bounded series donate their `routers` allocation back here so
+    /// steady-state sampling allocates nothing.
+    router_pool: Vec<Vec<RouterTelemetry>>,
 }
 
 impl Telemetry {
@@ -95,6 +99,7 @@ impl Telemetry {
             samples: VecDeque::new(),
             taken: 0,
             dropped: 0,
+            router_pool: Vec::new(),
         }
     }
 
@@ -121,6 +126,16 @@ impl Telemetry {
         self.credit_stalls[router] += n;
     }
 
+    /// Hands out a zeroed per-router scratch vector of length `n`,
+    /// reusing an allocation recycled from an evicted sample when one is
+    /// available. Pass it back via [`Telemetry::push_sample`].
+    pub(crate) fn checkout_routers(&mut self, n: usize) -> Vec<RouterTelemetry> {
+        let mut v = self.router_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, RouterTelemetry::default());
+        v
+    }
+
     /// Closes the current window: computes per-link / per-router deltas
     /// since the previous boundary and appends a sample assembled from
     /// them plus the caller-provided occupancy/queue sweeps.
@@ -145,7 +160,9 @@ impl Telemetry {
         }
         self.prev_credit_stalls.copy_from_slice(&self.credit_stalls);
         if self.samples.len() == self.capacity {
-            self.samples.pop_front();
+            if let Some(evicted) = self.samples.pop_front() {
+                self.router_pool.push(evicted.routers);
+            }
             self.dropped += 1;
         }
         self.samples.push_back(TelemetrySample {

@@ -137,13 +137,17 @@ impl Endpoints for SyntheticTraffic {
     }
 
     fn pre_cycle(&mut self, core: &mut SimCore) {
-        // Consume everything delivered.
-        let classes = core.config().num_classes;
+        // Consume everything delivered (no-op — and skipped — when no
+        // ejection queue holds anything; consuming draws no randomness, so
+        // the gate cannot shift the RNG stream).
         let n = core.topology().num_nodes();
-        for ni in 0..n {
-            let node = NodeId(ni as u16);
-            for c in 0..classes {
-                while core.pop_ejection(node, MessageClass(c as u8)).is_some() {}
+        if core.ejection_backlog() > 0 {
+            let classes = core.config().num_classes;
+            for ni in 0..n {
+                let node = NodeId(ni as u16);
+                for c in 0..classes {
+                    while core.pop_ejection(node, MessageClass(c as u8)).is_some() {}
+                }
             }
         }
         if core.cycle() >= self.stop_at {
@@ -164,6 +168,25 @@ impl Endpoints for SyntheticTraffic {
 
     fn finished(&self, core: &SimCore) -> bool {
         core.cycle() >= self.stop_at && core.live_packets() == 0
+    }
+
+    fn idle_until(&self, core: &SimCore) -> u64 {
+        // Past `stop_at` (or with a zero rate) `pre_cycle` only consumes
+        // deliveries, and the driver never fast-forwards over an ejection
+        // backlog. The per-node Bernoulli draws an active source makes
+        // every cycle are observable (they move the RNG stream), so it
+        // pins the clock to per-cycle stepping; a *stopped* source makes
+        // no draws at all, and skipping its no-op cycles is exact. A
+        // zero-rate source with a finite `stop_at` still anchors the
+        // horizon there so `finished` flips on the same cycle as
+        // per-cycle stepping.
+        if core.cycle() >= self.stop_at {
+            u64::MAX
+        } else if self.rate <= 0.0 {
+            self.stop_at
+        } else {
+            core.cycle()
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

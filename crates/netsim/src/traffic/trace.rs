@@ -57,12 +57,16 @@ impl Endpoints for TraceTraffic {
     }
 
     fn pre_cycle(&mut self, core: &mut SimCore) {
-        let classes = core.config().num_classes;
-        let n = core.topology().num_nodes();
-        for ni in 0..n {
-            let node = NodeId(ni as u16);
-            for c in 0..classes {
-                while core.pop_ejection(node, MessageClass(c as u8)).is_some() {}
+        // Consuming deliveries draws no randomness; skipping the sweep when
+        // every ejection queue is empty is exact.
+        if core.ejection_backlog() > 0 {
+            let classes = core.config().num_classes;
+            let n = core.topology().num_nodes();
+            for ni in 0..n {
+                let node = NodeId(ni as u16);
+                for c in 0..classes {
+                    while core.pop_ejection(node, MessageClass(c as u8)).is_some() {}
+                }
             }
         }
         while self.next < self.events.len() && self.events[self.next].cycle <= core.cycle() {
@@ -74,6 +78,16 @@ impl Endpoints for TraceTraffic {
 
     fn finished(&self, core: &SimCore) -> bool {
         self.next == self.events.len() && core.live_packets() == 0
+    }
+
+    fn idle_until(&self, _core: &SimCore) -> u64 {
+        // Nothing happens between scripted events; the next event's cycle
+        // is an exact horizon (delivery consumption is covered by the
+        // driver's no-backlog rule).
+        match self.events.get(self.next) {
+            Some(e) => e.cycle,
+            None => u64::MAX,
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

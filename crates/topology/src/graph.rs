@@ -151,6 +151,42 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// Conversion into a shared, reference-counted [`Topology`].
+///
+/// Simulator assembly builds several components (routing, mechanism, the
+/// core itself) from the same topology; accepting `impl IntoSharedTopology`
+/// lets callers hand over an owned `Topology`, a borrow, or an existing
+/// `Arc<Topology>` — and components that already share an `Arc` pay zero
+/// clones instead of one deep copy each.
+pub trait IntoSharedTopology {
+    /// Converts `self` into an `Arc<Topology>`.
+    fn into_shared(self) -> std::sync::Arc<Topology>;
+}
+
+impl IntoSharedTopology for Topology {
+    fn into_shared(self) -> std::sync::Arc<Topology> {
+        std::sync::Arc::new(self)
+    }
+}
+
+impl IntoSharedTopology for &Topology {
+    fn into_shared(self) -> std::sync::Arc<Topology> {
+        std::sync::Arc::new(self.clone())
+    }
+}
+
+impl IntoSharedTopology for std::sync::Arc<Topology> {
+    fn into_shared(self) -> std::sync::Arc<Topology> {
+        self
+    }
+}
+
+impl IntoSharedTopology for &std::sync::Arc<Topology> {
+    fn into_shared(self) -> std::sync::Arc<Topology> {
+        std::sync::Arc::clone(self)
+    }
+}
+
 /// An interconnection-network topology.
 ///
 /// Nodes are routers; every physical channel is a *bidirectional link*

@@ -48,4 +48,4 @@ pub mod faults;
 mod graph;
 pub mod updown;
 
-pub use graph::{LinkId, NodeId, Topology, TopologyError, UniLink};
+pub use graph::{IntoSharedTopology, LinkId, NodeId, Topology, TopologyError, UniLink};

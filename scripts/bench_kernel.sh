@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Times the per-cycle simulator kernel (the `sim_kernel` criterion bench:
+# low-injection and saturated presets over the headline schemes) and
+# records the medians in BENCH_kernel.json at the repo root.
+#
+# Usage:
+#   scripts/bench_kernel.sh             bench + write BENCH_kernel.json
+#   scripts/bench_kernel.sh --test      one untimed pass per preset (CI
+#                                       smoke; writes nothing)
+#   scripts/bench_kernel.sh --baseline  bench + write the numbers to
+#                                       BENCH_kernel.baseline.json instead
+#                                       — run this on a reference commit
+#                                       (see EXPERIMENTS.md "Kernel
+#                                       performance") so the next default
+#                                       run reports speedups against it
+#
+# Keep PRESET_CYCLES and SCHEMES in sync with
+# crates/bench/benches/sim_kernel.rs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+declare -A PRESET_CYCLES=( [low]=20000 [saturated]=5000 )
+PRESETS=(low saturated)
+SCHEMES=(escapevc spin drain)
+
+if [[ "${1:-}" == "--test" ]]; then
+    exec cargo bench -p drain-bench --bench sim_kernel -- --test
+fi
+
+OUT=BENCH_kernel.json
+BASELINE=BENCH_kernel.baseline.json
+if [[ "${1:-}" == "--baseline" ]]; then
+    OUT="$BASELINE"
+fi
+
+cargo bench -p drain-bench --bench sim_kernel
+
+commit=$(git describe --always --dirty 2>/dev/null || echo unknown)
+
+# Median per-iteration nanoseconds from the shim's estimates.json.
+median_ns() { # <preset> <scheme>
+    local f="target/criterion/sim_kernel/$1/$2/new/estimates.json"
+    sed -n 's/.*"median":{"point_estimate":\([0-9]*\)}.*/\1/p' "$f"
+}
+
+# ns/cycle with one decimal.
+per_cycle() { # <total-ns> <cycles>
+    awk -v t="$1" -v c="$2" 'BEGIN { printf "%.1f", t / c }'
+}
+
+# Median of three values.
+median3() {
+    printf '%s\n' "$@" | sort -g | sed -n 2p
+}
+
+# Pull a recorded per-preset median back out of a previous baseline file.
+baseline_median() { # <preset>
+    sed -n "s/.*\"$1\":{\"cycles\":[0-9]*,\"median_ns_per_cycle\":\([0-9.]*\).*/\1/p" \
+        "$BASELINE" | head -n1
+}
+
+presets_json=""
+declare -A PRESET_MEDIAN
+for preset in "${PRESETS[@]}"; do
+    cycles=${PRESET_CYCLES[$preset]}
+    schemes_json=""
+    vals=()
+    for scheme in "${SCHEMES[@]}"; do
+        ns=$(median_ns "$preset" "$scheme")
+        [[ -n "$ns" ]] || { echo "missing estimates for $preset/$scheme" >&2; exit 1; }
+        npc=$(per_cycle "$ns" "$cycles")
+        vals+=("$npc")
+        schemes_json+="\"$scheme\":$npc,"
+    done
+    med=$(median3 "${vals[@]}")
+    PRESET_MEDIAN[$preset]=$med
+    presets_json+="\"$preset\":{\"cycles\":$cycles,\"median_ns_per_cycle\":$med,"
+    presets_json+="\"schemes\":{${schemes_json%,}}},"
+done
+
+speedup_json=""
+if [[ "$OUT" != "$BASELINE" && -f "$BASELINE" ]]; then
+    base_commit=$(sed -n 's/.*"commit":"\([^"]*\)".*/\1/p' "$BASELINE" | head -n1)
+    for preset in "${PRESETS[@]}"; do
+        base=$(baseline_median "$preset")
+        [[ -n "$base" ]] || continue
+        ratio=$(awk -v b="$base" -v n="${PRESET_MEDIAN[$preset]}" \
+            'BEGIN { printf "%.2f", b / n }')
+        speedup_json+="\"$preset\":$ratio,"
+    done
+    if [[ -n "$speedup_json" ]]; then
+        speedup_json="\"baseline_commit\":\"$base_commit\",\"speedup_vs_baseline\":{${speedup_json%,}},"
+    fi
+fi
+
+printf '{"commit":"%s","bench":"sim_kernel","unit":"ns/cycle",%s"presets":{%s}}\n' \
+    "$commit" "$speedup_json" "${presets_json%,}" > "$OUT"
+echo "wrote $OUT"
+cat "$OUT"

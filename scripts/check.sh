@@ -35,4 +35,7 @@ cargo test -p drain-bench --test golden_trace -q
 echo "==> trace overhead benchmark (smoke mode)"
 cargo bench -p drain-bench --bench trace_overhead -- --test
 
+echo "==> kernel benchmark (smoke mode)"
+scripts/bench_kernel.sh --test
+
 echo "All checks passed."

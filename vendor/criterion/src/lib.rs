@@ -3,39 +3,57 @@
 //!
 //! Implements the subset the `drain-bench` benchmarks use — benchmark
 //! groups, [`BenchmarkId`], [`Throughput`], `bench_function` /
-//! `bench_with_input`, and the [`criterion_group!`] / [`criterion_main!`]
-//! macros — with plain wall-clock timing: per benchmark it warms up, runs
-//! `sample_size` samples, and prints min/median/mean nanoseconds per
-//! iteration (plus elements/second when a throughput was declared).
-//! There is no statistical regression machinery and nothing is written to
-//! `target/criterion`.
+//! `bench_with_input`, [`Bencher::iter`] / [`Bencher::iter_batched`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — with plain
+//! wall-clock timing: per benchmark it warms up, runs `sample_size`
+//! samples, and prints min/median/mean nanoseconds per iteration (plus
+//! elements/second when a throughput was declared).
+//!
+//! Two upstream conveniences are mirrored because the repo's tooling
+//! relies on them:
+//!
+//! * `--test` on the command line (`cargo bench -- --test`) runs every
+//!   benchmark exactly once, untimed — a smoke mode for CI;
+//! * each timed benchmark writes
+//!   `target/criterion/<id…>/new/estimates.json` with `min` / `median` /
+//!   `mean` point estimates in nanoseconds (the upstream layout, reduced
+//!   to the fields `scripts/bench_kernel.sh` consumes).
+//!
+//! There is no statistical regression machinery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 /// Top-level benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
 
 impl Criterion {
-    /// Compatibility no-op (upstream parses CLI filters here).
-    pub fn configure_from_args(self) -> Self {
+    /// Reads the subset of upstream CLI flags the harness honours
+    /// (`--test`; everything else is ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n== group {name} ==");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _c: self,
             name: name.to_string(),
             sample_size: 100,
             throughput: None,
+            test_mode,
         }
     }
 
@@ -44,7 +62,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(id, 100, None, f);
+        run_benchmark(id, 100, None, self.test_mode, f);
         self
     }
 
@@ -59,6 +77,19 @@ pub enum Throughput {
     Elements(u64),
     /// Bytes per iteration.
     Bytes(u64),
+}
+
+/// How [`Bencher::iter_batched`] amortises setup (upstream tunes batch
+/// sizes per variant; this shim always runs one setup per timed sample,
+/// which every variant permits).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Exactly one setup per iteration.
+    PerIteration,
 }
 
 /// Identifier `function_name/parameter` for parameterised benchmarks.
@@ -94,6 +125,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -121,7 +153,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        run_benchmark(&label, self.sample_size, self.throughput, self.test_mode, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -131,7 +165,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id);
-        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b));
+        run_benchmark(&label, self.sample_size, self.throughput, self.test_mode, |b| f(b));
         self
     }
 
@@ -139,21 +173,49 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// Passed to benchmark closures; call [`Bencher::iter`] with the code to
-/// time.
+/// Passed to benchmark closures; call [`Bencher::iter`] (or
+/// [`Bencher::iter_batched`]) with the code to time.
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `f`: one untimed warmup call, then `sample_size` timed calls.
+    /// In `--test` mode `f` runs exactly once, untimed.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
         black_box(f());
         self.samples.clear();
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
             black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`, excluding setup time
+    /// from every sample (one setup per timed call). In `--test` mode the
+    /// pair runs exactly once, untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
             self.samples.push(t0.elapsed());
         }
     }
@@ -163,13 +225,19 @@ fn run_benchmark<F: FnOnce(&mut Bencher)>(
     label: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
     f: F,
 ) {
     let mut b = Bencher {
         samples: Vec::new(),
         sample_size,
+        test_mode,
     };
     f(&mut b);
+    if test_mode {
+        println!("{label:<48} ok (test mode, 1 untimed iteration)");
+        return;
+    }
     if b.samples.is_empty() {
         println!("{label:<48} (no samples — closure never called iter)");
         return;
@@ -191,6 +259,7 @@ fn run_benchmark<F: FnOnce(&mut Bencher)>(
         fmt_ns(median),
         fmt_ns(mean)
     );
+    write_estimates(label, min, median, mean, ns.len());
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -203,6 +272,51 @@ fn fmt_ns(ns: u128) -> String {
     } else {
         format!("{ns} ns")
     }
+}
+
+/// Writes the upstream-layout `estimates.json` for one benchmark:
+/// `target/criterion/<id components…>/new/estimates.json`, nanosecond
+/// point estimates.
+fn write_estimates(label: &str, min: u128, median: u128, mean: u128, samples: usize) {
+    let Some(target) = target_dir() else { return };
+    let mut path = target.join("criterion");
+    for comp in label.split('/') {
+        let sanitized: String = comp
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        path.push(sanitized);
+    }
+    path.push("new");
+    if std::fs::create_dir_all(&path).is_err() {
+        return;
+    }
+    let json = format!(
+        "{{\"min\":{{\"point_estimate\":{min}}},\
+           \"median\":{{\"point_estimate\":{median}}},\
+           \"mean\":{{\"point_estimate\":{mean}}},\
+           \"sample_count\":{samples}}}"
+    );
+    let _ = std::fs::write(path.join("estimates.json"), json);
+}
+
+/// The cargo target directory: `$CARGO_TARGET_DIR` when set, else the
+/// `target` ancestor of the running bench executable
+/// (`target/<profile>/deps/<bench>`).
+fn target_dir() -> Option<PathBuf> {
+    if let Ok(d) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(d));
+    }
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .find(|p| p.file_name().is_some_and(|n| n == "target"))
+        .map(|p| p.to_path_buf())
 }
 
 /// Declares a benchmark group function callable from [`criterion_main!`].
@@ -236,11 +350,54 @@ mod tests {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: 5,
+            test_mode: false,
         };
         let mut calls = 0u32;
         b.iter(|| calls += 1);
         assert_eq!(b.samples.len(), 5);
         assert_eq!(calls, 6, "warmup + 5 samples");
+    }
+
+    #[test]
+    fn batched_iter_excludes_setup_and_counts_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 4,
+            test_mode: false,
+        };
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |v| {
+                runs += 1;
+                v
+            },
+            BatchSize::PerIteration,
+        );
+        assert_eq!(b.samples.len(), 4);
+        assert_eq!(setups, 5, "warmup + 4 samples, one setup each");
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once_untimed() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 50,
+            test_mode: true,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+
+        let mut batched_calls = 0u32;
+        b.iter_batched(|| (), |()| batched_calls += 1, BatchSize::SmallInput);
+        assert_eq!(batched_calls, 1);
     }
 
     #[test]

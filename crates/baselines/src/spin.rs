@@ -25,7 +25,7 @@
 //! scheme relies on per-class virtual networks for those.
 
 use drain_netsim::mechanism::{ControlAction, ForcedKind, ForcedMove, Mechanism};
-use drain_netsim::routing::RouteCtx;
+use drain_netsim::routing::{Candidate, RouteCtx};
 use drain_netsim::{SimCore, TraceEvent, VcRef};
 
 /// SPIN parameters.
@@ -67,8 +67,19 @@ pub struct SpinMechanism {
     freeze_left: u64,
     /// Rotates scan/choice starting points for fairness.
     rotation: u64,
-    /// Scratch for the suspect scan (reused across cycles).
-    scan: Vec<u32>,
+    /// Lower bound on `max(entered_at, ready_at)` over every occupied VC,
+    /// learned as a byproduct of each suspect scan that comes up empty.
+    /// No VC can time out before `suspect_floor + timeout`, so until then
+    /// the per-cycle occupancy sweep is skipped outright. Sound because a
+    /// buffer's timestamps are written only when a packet enters it, and
+    /// every entry stamps them at or after the current cycle — newcomers
+    /// can only raise the true minimum, never undercut the bound.
+    suspect_floor: u64,
+    /// Probe-walk scratch (reused across hops — a probe hop allocates
+    /// nothing).
+    cands: Vec<Candidate>,
+    targets: Vec<VcRef>,
+    occupied: Vec<VcRef>,
 }
 
 impl SpinMechanism {
@@ -79,7 +90,10 @@ impl SpinMechanism {
             probe: None,
             freeze_left: 0,
             rotation: 0,
-            scan: Vec::new(),
+            suspect_floor: 0,
+            cands: Vec::new(),
+            targets: Vec::new(),
+            occupied: Vec::new(),
         }
     }
 
@@ -95,7 +109,7 @@ impl SpinMechanism {
 
     /// The concrete occupied buffer `vc`'s packet is waiting on, or `None`
     /// if the packet can move / eject (no deadlock through this VC).
-    fn wait_target(&self, core: &SimCore, vc: VcRef, choice: u64) -> Option<VcRef> {
+    fn wait_target(&mut self, core: &SimCore, vc: VcRef, choice: u64) -> Option<VcRef> {
         let st = core.vc(vc);
         let pid = st.occ?;
         let p = core.packet(pid);
@@ -114,63 +128,86 @@ impl SpinMechanism {
             blocked_for: u64::MAX,
             sample: 0,
         };
-        let mut cands = Vec::new();
-        core.route_candidates(&ctx, &mut cands);
+        self.cands.clear();
+        core.route_candidates(&ctx, &mut self.cands);
         let vn = core.config().vn_of_class(p.class) as u8;
-        let mut occupied: Vec<VcRef> = Vec::new();
-        let mut targets = Vec::new();
-        for &c in &cands {
-            targets.clear();
-            core.concrete_targets(c, vn, &mut targets);
-            for &t in &targets {
+        self.occupied.clear();
+        for i in 0..self.cands.len() {
+            let c = self.cands[i];
+            self.targets.clear();
+            core.concrete_targets(c, vn, &mut self.targets);
+            for &t in &self.targets {
                 // A free (unoccupied) buffer means the packet is merely
                 // waiting on link arbitration, not deadlocked.
                 core.vc(t).occ?;
-                occupied.push(t);
+                self.occupied.push(t);
             }
         }
-        if occupied.is_empty() {
+        if self.occupied.is_empty() {
             return None;
         }
-        Some(occupied[(choice % occupied.len() as u64) as usize])
+        Some(self.occupied[(choice % self.occupied.len() as u64) as usize])
     }
 
     /// Scans for a VC blocked longer than the timeout.
     ///
-    /// Walks the core's occupied-VC index instead of every buffer: the
-    /// occupied indices, sorted ascending, are exactly the occupied slots
-    /// of the dense link-major scan, so starting at the first occupied
-    /// slot `>= rotation % total_slots` and wrapping reproduces the
-    /// original circular sweep (which skipped empty VCs anyway) while
-    /// costing O(occupied log occupied) rather than O(total VCs).
+    /// Walks the core's occupancy bitmap: iterating set bits ascending
+    /// from `rotation % total_slots` and wrapping reproduces the original
+    /// dense circular sweep (which skipped empty VCs anyway) at
+    /// O(total VCs / 64) words plus one two-field gather per occupied VC —
+    /// no copying, no sorting, no allocation. An empty-handed sweep has
+    /// seen every occupied buffer's timestamp, so it additionally learns
+    /// the earliest cycle at which *any* buffer could next time out
+    /// (`suspect_floor + timeout`); until that cycle later sweeps return
+    /// `None` without touching the arena at all. Skipped sweeps have no
+    /// observable effect (a sweep that finds nothing has none either), so
+    /// the probe-launch schedule — and every downstream trace event — is
+    /// bit-identical to the ungated scan.
     fn find_suspect(&mut self, core: &SimCore) -> Option<VcRef> {
         let now = core.cycle();
+        let timeout = self.config.timeout;
+        if now.saturating_sub(timeout) < self.suspect_floor {
+            return None;
+        }
         let cfg = core.config();
         let total_slots =
             (core.topology().num_unidirectional_links() * cfg.vns * cfg.vcs_per_vn) as u64;
         if total_slots == 0 {
             return None;
         }
-        let mut occ = std::mem::take(&mut self.scan);
-        occ.clear();
-        occ.extend_from_slice(core.occupied_vc_indices());
-        occ.sort_unstable();
-        let mut found = None;
-        if !occ.is_empty() {
-            let start = (self.rotation % total_slots) as u32;
-            let pivot = occ.partition_point(|&i| i < start);
-            for k in 0..occ.len() {
-                let idx = occ[(pivot + k) % occ.len()];
-                let r = core.vc_ref_of_index(idx as usize);
-                let st = core.vc(r);
-                let blocked_for = now.saturating_sub(st.entered_at.max(st.ready_at));
-                if blocked_for >= self.config.timeout {
-                    found = Some(r);
-                    break;
+        let bits = core.occupied_vc_bitmap();
+        let start = (self.rotation % total_slots) as usize;
+        let mut min_key = u64::MAX;
+        let mut scan_word = |wi: usize, mask: u64| -> Option<VcRef> {
+            let mut w = bits[wi] & mask;
+            while w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let st = core.vc_state_of_index(idx);
+                let key = st.entered_at.max(st.ready_at);
+                if now.saturating_sub(key) >= timeout {
+                    return Some(core.vc_ref_of_index(idx));
                 }
+                min_key = min_key.min(key);
             }
+            None
+        };
+        let sw = start / 64;
+        let sb = start % 64;
+        // [start, end), then wrap to [0, start).
+        let mut found = scan_word(sw, !0u64 << sb);
+        if found.is_none() {
+            found = (sw + 1..bits.len())
+                .chain(0..sw)
+                .find_map(|wi| scan_word(wi, !0))
+                .or_else(|| scan_word(sw, (1u64 << sb) - 1));
         }
-        self.scan = occ;
+        if found.is_none() {
+            // Every occupied buffer was inspected; packets entering later
+            // stamp timestamps at or after `now`, so this minimum (capped
+            // at `now`) lower-bounds all future keys.
+            self.suspect_floor = min_key.min(now);
+        }
         found
     }
 
@@ -255,12 +292,7 @@ impl Mechanism for SpinMechanism {
         core.stats.probe_hops += 1;
         if core.trace_enabled() {
             let router = core.topology().link(cur.link).dst.0;
-            let len = self
-                .probe
-                .as_ref()
-                .expect("checked above")
-                .path
-                .len() as u32;
+            let len = self.probe.as_ref().expect("checked above").path.len() as u32;
             core.trace_emit(TraceEvent::Probe {
                 cycle: now,
                 router,

@@ -1,0 +1,140 @@
+//! Cross-refactor golden pins for the simulator kernel.
+//!
+//! Unlike `golden_trace.rs` (which proves *self*-consistency: identical
+//! bytes across reruns and worker-thread counts), these tests pin the
+//! kernel's observable behaviour to constants captured from a known-good
+//! build. Any data-layout or allocation-order rework that silently drifts
+//! the RNG draw schedule, the allocation order, or the trace stream fails
+//! here even though it would still be self-consistent.
+//!
+//! The pinned digests were captured on the occupancy-driven kernel (PR 5)
+//! and must survive the struct-of-arrays arena refactor (PR 6) unchanged:
+//! same seeds, same cycles, same bytes.
+//!
+//! If a *deliberate* behaviour change invalidates them, re-capture with
+//! `cargo test -p drain-bench --test golden_pin -- --nocapture` (each test
+//! prints the digests it observed) and explain the re-pin in the PR.
+
+use drain_bench::scheme::DrainVariant;
+use drain_bench::Scheme;
+use drain_netsim::traffic::SyntheticPattern;
+use drain_netsim::{TraceConfig, TraceSink};
+use drain_topology::Topology;
+
+/// FNV-1a, dependency-free (the workspace builds offline).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// The three headline schemes with stable directory-safe ids.
+fn headline() -> [(&'static str, Scheme); 3] {
+    [
+        ("escapevc", Scheme::EscapeVc),
+        ("spin", Scheme::Spin),
+        ("drain", Scheme::Drain(DrainVariant::Vn1Vc2)),
+    ]
+}
+
+/// Digest of a saturated traced run: mesh(4,4), 40% uniform-random
+/// injection (far past saturation, the bench's `saturated` preset rate),
+/// a short drain epoch so forced movement appears in-window, 2 000 cycles
+/// of JSONL event bytes.
+fn saturated_trace_digest(scheme: Scheme) -> u64 {
+    let topo = Topology::mesh(4, 4);
+    let mut sim = scheme.synthetic_sim_traced(
+        &topo,
+        true,
+        SyntheticPattern::UniformRandom,
+        0.40,
+        17,
+        512,
+        1,
+        TraceConfig::events_on(),
+    );
+    sim.set_trace_sink(TraceSink::Memory(Vec::new()));
+    sim.run(2_000);
+    let events = sim
+        .core_mut()
+        .tracer_mut()
+        .take_memory()
+        .expect("memory sink installed");
+    assert!(
+        !events.is_empty(),
+        "a saturated traced run must emit events"
+    );
+    let mut out = String::new();
+    for e in &events {
+        out.push_str(&e.to_jsonl());
+        out.push('\n');
+    }
+    fnv1a(out.as_bytes())
+}
+
+/// Digest of a saturated untraced run's full statistics: mesh(8,8) (the
+/// bench topology), 40% injection, 2 000 cycles, `Stats` debug-formatted
+/// (every counter plus both full latency histograms).
+fn saturated_stats_digest(scheme: Scheme) -> u64 {
+    let topo = Topology::mesh(8, 8);
+    let mut sim = scheme.synthetic_sim(
+        &topo,
+        true,
+        SyntheticPattern::UniformRandom,
+        0.40,
+        17,
+        Scheme::DEFAULT_EPOCH,
+    );
+    sim.run(2_000);
+    assert!(
+        sim.stats().ejected > 0,
+        "saturated run must deliver packets"
+    );
+    fnv1a(format!("{:?}", sim.stats()).as_bytes())
+}
+
+/// Expected per-scheme digests, captured pre-refactor (see module docs).
+const PINNED_TRACE: [(&str, u64); 3] = [
+    ("escapevc", 0x8ec1_d206_79fd_17a4),
+    ("spin", 0x3662_c02a_c36d_e52f),
+    ("drain", 0x3acb_7a6e_5720_bc45),
+];
+
+const PINNED_STATS: [(&str, u64); 3] = [
+    ("escapevc", 0xe401_d053_4cb9_3be6),
+    ("spin", 0x3937_bbf6_d045_8451),
+    ("drain", 0x8ce1_dc7a_8e37_0223),
+];
+
+#[test]
+fn saturated_golden_trace_is_pinned() {
+    let got: Vec<(&str, u64)> = headline()
+        .into_iter()
+        .map(|(id, scheme)| (id, saturated_trace_digest(scheme)))
+        .collect();
+    for (id, d) in &got {
+        println!("trace {id}: {d:#018x}");
+    }
+    assert_eq!(
+        got, PINNED_TRACE,
+        "saturated trace bytes drifted from the pinned digests"
+    );
+}
+
+#[test]
+fn saturated_stats_are_pinned() {
+    let got: Vec<(&str, u64)> = headline()
+        .into_iter()
+        .map(|(id, scheme)| (id, saturated_stats_digest(scheme)))
+        .collect();
+    for (id, d) in &got {
+        println!("stats {id}: {d:#018x}");
+    }
+    assert_eq!(
+        got, PINNED_STATS,
+        "saturated stats drifted from the pinned digests"
+    );
+}

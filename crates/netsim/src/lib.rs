@@ -79,7 +79,7 @@ pub mod traffic;
 
 pub use check::{CheckConfig, PacketFingerprint, RecordingEndpoints, Violation, ViolationKind};
 pub use config::SimConfig;
-pub use packet::{Location, MessageClass, Packet, PacketId};
+pub use packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
 pub use sim::{RunOutcome, Sim};
 pub use state::{SimCore, VcRef, VcState};
 pub use stats::Stats;

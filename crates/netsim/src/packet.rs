@@ -70,7 +70,12 @@ pub enum Location {
 }
 
 /// A packet in flight.
-#[derive(Clone, Debug)]
+///
+/// All fields are plain values, so `Packet` is `Copy`: the slab hands out
+/// whole packets by value on the rare paths that need every field, while
+/// the per-cycle hot paths read the per-VC mirrors in
+/// [`crate::SimCore`] instead and never touch the slab at all.
+#[derive(Clone, Copy, Debug)]
 pub struct Packet {
     /// Source node.
     pub src: NodeId,
@@ -96,10 +101,22 @@ pub struct Packet {
     pub tag: u64,
 }
 
-/// Slab of live packets with id reuse.
+/// Slab of live packets with freelist id reuse.
+///
+/// Payloads live in one contiguous `Vec<Packet>`; a parallel liveness
+/// array distinguishes live slots from retired ones awaiting reuse.
+/// Retiring a packet pushes its slot onto the freelist and the next
+/// insert pops it, so after the first ramp-up the slab allocates nothing:
+/// steady-state traffic recycles slots forever. Ids are only meaningful
+/// while their packet is live (see [`PacketId`]).
+///
+/// Invariant (checked by the recycling property tests): every slot is
+/// either live or on the freelist, exactly once —
+/// `slot_count() == len() + free_count()`.
 #[derive(Clone, Debug, Default)]
 pub struct PacketSlab {
-    slots: Vec<Option<Packet>>,
+    slots: Vec<Packet>,
+    live_flags: Vec<bool>,
     free: Vec<u32>,
     live: usize,
 }
@@ -110,30 +127,32 @@ impl PacketSlab {
         Self::default()
     }
 
-    /// Inserts a packet, returning its id.
+    /// Inserts a packet, returning its id (a recycled slot when one is
+    /// free, a fresh one otherwise).
     pub fn insert(&mut self, p: Packet) -> PacketId {
         self.live += 1;
         if let Some(i) = self.free.pop() {
-            self.slots[i as usize] = Some(p);
+            self.slots[i as usize] = p;
+            self.live_flags[i as usize] = true;
             PacketId(i)
         } else {
-            self.slots.push(Some(p));
+            self.slots.push(p);
+            self.live_flags.push(true);
             PacketId((self.slots.len() - 1) as u32)
         }
     }
 
-    /// Removes a packet, returning it.
+    /// Removes a packet, returning it and recycling its slot.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not live.
     pub fn remove(&mut self, id: PacketId) -> Packet {
-        let p = self.slots[id.0 as usize]
-            .take()
-            .expect("packet id not live");
+        assert!(self.live_flags[id.0 as usize], "packet id not live");
+        self.live_flags[id.0 as usize] = false;
         self.free.push(id.0);
         self.live -= 1;
-        p
+        self.slots[id.0 as usize]
     }
 
     /// Shared access to a live packet.
@@ -143,14 +162,15 @@ impl PacketSlab {
     /// Panics if `id` is not live.
     #[inline]
     pub fn get(&self, id: PacketId) -> &Packet {
-        self.slots[id.0 as usize].as_ref().expect("packet id not live")
+        assert!(self.live_flags[id.0 as usize], "packet id not live");
+        &self.slots[id.0 as usize]
     }
 
     /// Shared access to a packet, or `None` if `id` is not live (used by
     /// the invariant checker to report dangling ids instead of panicking).
     #[inline]
     pub fn try_get(&self, id: PacketId) -> Option<&Packet> {
-        self.slots.get(id.0 as usize).and_then(|s| s.as_ref())
+        (*self.live_flags.get(id.0 as usize)?).then(|| &self.slots[id.0 as usize])
     }
 
     /// Mutable access to a live packet.
@@ -160,7 +180,8 @@ impl PacketSlab {
     /// Panics if `id` is not live.
     #[inline]
     pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
-        self.slots[id.0 as usize].as_mut().expect("packet id not live")
+        assert!(self.live_flags[id.0 as usize], "packet id not live");
+        &mut self.slots[id.0 as usize]
     }
 
     /// Number of live packets.
@@ -173,12 +194,25 @@ impl PacketSlab {
         self.live == 0
     }
 
+    /// Total slots ever allocated (live + recyclable). Grows monotonically
+    /// to the high-water mark of concurrently live packets, then stays
+    /// flat — the recycling property tests pin this.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently on the freelist awaiting reuse.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
     /// Iterator over `(id, packet)` for live packets.
     pub fn iter(&self) -> impl Iterator<Item = (PacketId, &Packet)> {
         self.slots
             .iter()
+            .zip(&self.live_flags)
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|p| (PacketId(i as u32), p)))
+            .filter_map(|(i, (p, &l))| l.then_some((PacketId(i as u32), p)))
     }
 }
 

@@ -91,15 +91,29 @@ impl Routing for FullyAdaptive {
             if ctx.blocked_for >= after {
                 // Never deflect straight back where the packet came from —
                 // that swaps packets endlessly instead of making progress.
+                // Deflection is the common case at saturation (every
+                // blocked head reaches the threshold), so the filtered
+                // list lives on the stack: no heap allocation per call.
+                // Routers of degree > 32 (none of the paper's topologies)
+                // fall back to a heap collect.
                 let back = ctx.arrived_via.map(|l| l.reverse());
-                let rest: Vec<drain_topology::LinkId> = self
-                    .topo
-                    .out_links(ctx.cur)
-                    .iter()
-                    .copied()
-                    .filter(|l| !links.contains(l) && Some(*l) != back)
-                    .collect();
-                push_rotated(&rest, ctx.sample ^ 0x5A, target, out);
+                let out_links = self.topo.out_links(ctx.cur);
+                let keep = |l: &drain_topology::LinkId| !links.contains(l) && Some(*l) != back;
+                if out_links.len() <= 32 {
+                    let mut rest = [drain_topology::LinkId(0); 32];
+                    let mut n = 0;
+                    for &l in out_links {
+                        if keep(&l) {
+                            rest[n] = l;
+                            n += 1;
+                        }
+                    }
+                    push_rotated(&rest[..n], ctx.sample ^ 0x5A, target, out);
+                } else {
+                    let rest: Vec<drain_topology::LinkId> =
+                        out_links.iter().copied().filter(keep).collect();
+                    push_rotated(&rest, ctx.sample ^ 0x5A, target, out);
+                }
             }
         }
     }

@@ -4,8 +4,6 @@
 //! graph is acyclic) and is the paper's escape-VC routing on the regular
 //! mesh (Table II).
 
-use std::sync::Arc;
-
 use drain_topology::{IntoSharedTopology, LinkId, NodeId, Topology};
 
 use super::{Candidate, RouteCtx, Routing, TargetVc};
@@ -42,10 +40,52 @@ pub fn dor_next_hop(topo: &Topology, cur: NodeId, dest: NodeId) -> Option<LinkId
     )
 }
 
+/// Precomputed XY next hops for every `(cur, dest)` pair.
+///
+/// `dor_next_hop` recomputes coordinates and scans the adjacency list on
+/// every call; in the simulator's hot loop the escape candidate is built
+/// for each occupied VC head each cycle, so the table turns that into a
+/// single load from a dense `n * n` array (16 KiB on an 8×8 mesh —
+/// resident in L1/L2). Entries for `cur == dest` hold a sentinel.
+#[derive(Clone, Debug)]
+pub struct DorTable {
+    num_nodes: usize,
+    /// `next[cur * n + dest]` = XY next-hop link id, `u32::MAX` = none.
+    next: Vec<u32>,
+}
+
+impl DorTable {
+    /// Tabulates [`dor_next_hop`] over all pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` is not a full fault-free mesh.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        let mut next = vec![u32::MAX; n * n];
+        for cur in topo.nodes() {
+            for dest in topo.nodes() {
+                if let Some(l) = dor_next_hop(topo, cur, dest) {
+                    next[cur.index() * n + dest.index()] = l.0;
+                }
+            }
+        }
+        DorTable { num_nodes: n, next }
+    }
+
+    /// The unique XY next hop from `cur` toward `dest`, or `None` when
+    /// `cur == dest`.
+    #[inline]
+    pub fn next_hop(&self, cur: NodeId, dest: NodeId) -> Option<LinkId> {
+        let l = self.next[cur.index() * self.num_nodes + dest.index()];
+        (l != u32::MAX).then_some(LinkId(l))
+    }
+}
+
 /// Pure dimension-order routing on every VC.
 #[derive(Clone, Debug)]
 pub struct DorAll {
-    topo: Arc<Topology>,
+    table: DorTable,
 }
 
 impl DorAll {
@@ -61,7 +101,9 @@ impl DorAll {
             topo.coord(NodeId(0)).is_some(),
             "DoR requires a mesh-derived topology"
         );
-        DorAll { topo }
+        DorAll {
+            table: DorTable::new(&topo),
+        }
     }
 }
 
@@ -71,7 +113,7 @@ impl Routing for DorAll {
     }
 
     fn candidates(&self, ctx: &RouteCtx, out: &mut Vec<Candidate>) {
-        if let Some(link) = dor_next_hop(&self.topo, ctx.cur, ctx.dest) {
+        if let Some(link) = self.table.next_hop(ctx.cur, ctx.dest) {
             let target = if ctx.in_escape {
                 TargetVc::EscapeOnly
             } else {

@@ -7,19 +7,16 @@
 //! adaptive ones), which is what makes the scheme deadlock-free by Duato's
 //! theory; the escape VC is sticky.
 
-use std::sync::Arc;
+use drain_topology::{distance::DistanceMap, updown::UpDownRouting, IntoSharedTopology};
 
-use drain_topology::{
-    distance::DistanceMap, updown::UpDownRouting, IntoSharedTopology, Topology,
-};
-
-use super::{dor_next_hop, push_rotated, Candidate, RouteCtx, Routing, TargetVc};
+use super::{push_rotated, Candidate, DorTable, RouteCtx, Routing, TargetVc};
 
 /// Which restricted routing drives the escape VC.
 #[derive(Clone, Debug)]
 pub enum EscapeKind {
-    /// Dimension-order XY (only valid on full meshes).
-    Dor(Arc<Topology>),
+    /// Dimension-order XY via a precomputed next-hop table (only valid on
+    /// full meshes).
+    Dor(DorTable),
     /// Topology-agnostic up*/down*.
     UpDown(UpDownRouting),
 }
@@ -46,7 +43,7 @@ impl EscapeVcRouting {
         );
         EscapeVcRouting {
             dmap: DistanceMap::new(&topo),
-            escape: EscapeKind::Dor(topo),
+            escape: EscapeKind::Dor(DorTable::new(&topo)),
         }
     }
 
@@ -72,8 +69,8 @@ impl EscapeVcRouting {
 
     fn escape_candidates(&self, ctx: &RouteCtx, fresh_entry: bool, out: &mut Vec<Candidate>) {
         match &self.escape {
-            EscapeKind::Dor(topo) => {
-                if let Some(link) = dor_next_hop(topo, ctx.cur, ctx.dest) {
+            EscapeKind::Dor(table) => {
+                if let Some(link) = table.next_hop(ctx.cur, ctx.dest) {
                     out.push(Candidate {
                         link,
                         target: TargetVc::EscapeOnly,
@@ -126,7 +123,7 @@ impl Routing for EscapeVcRouting {
 mod tests {
     use super::*;
     use drain_topology::faults::FaultInjector;
-    use drain_topology::NodeId;
+    use drain_topology::{NodeId, Topology};
 
     #[test]
     fn adaptive_first_escape_last() {

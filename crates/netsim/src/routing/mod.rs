@@ -20,7 +20,7 @@ mod turnmodel;
 mod updown_all;
 
 pub use adaptive::{FullyAdaptive, DEFAULT_DEFLECT_AFTER};
-pub use dor::{dor_next_hop, DorAll};
+pub use dor::{dor_next_hop, DorAll, DorTable};
 pub use escape::{EscapeKind, EscapeVcRouting};
 pub use turnmodel::{TurnModel, TurnModelKind};
 pub use updown_all::UpDownAll;

@@ -6,6 +6,20 @@
 //! endpoints → mechanism → allocation each cycle; mechanisms and endpoint
 //! models receive `&mut SimCore` and use the accessors here.
 //!
+//! # Memory layout
+//!
+//! VC state is a struct-of-arrays arena: one contiguous per-field buffer
+//! (`occ`, `ready_at`, `free_at`, `entered_at`) indexed by the link-major
+//! VC id, plus *hot mirrors* of the occupant's immutable fields (`dest`,
+//! `class`, `len_flits`) copied in when a packet occupies the slot. The
+//! per-cycle allocation sweep reads only these arrays — never the packet
+//! slab, which grows with the live population (megabytes under
+//! saturation) and would turn every visit into a cache miss. Packet
+//! payloads live in a [`PacketSlab`] freelist slab; in steady state no
+//! per-packet heap allocation happens at all. See DESIGN.md, "Kernel
+//! memory layout", for the ownership rules and the invariants guarding
+//! each buffer.
+//!
 //! Timing model (virtual cut-through, single packet per VC — Table II):
 //!
 //! * A grant at cycle `t` moves the packet's occupancy to the downstream VC
@@ -44,7 +58,12 @@ pub struct VcRef {
     pub vc: u8,
 }
 
-/// State of one VC buffer.
+/// By-value snapshot of one VC buffer's state.
+///
+/// The simulator keeps VC state in struct-of-arrays buffers (see the
+/// module docs); this struct is the gathered view handed to checkers,
+/// mechanisms and diagnostics by [`SimCore::vc`]. It is a copy — mutating
+/// it does not touch the simulator.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct VcState {
     /// Occupying packet, if any.
@@ -56,6 +75,9 @@ pub struct VcState {
     /// Cycle the current occupant arrived (for timeout counters).
     pub entered_at: u64,
 }
+
+/// Sentinel in the `vc_occ` array for an empty VC.
+const EMPTY: u32 = u32::MAX;
 
 /// Outcome info for a delivered packet, handed to ejection-queue consumers.
 #[derive(Clone, Debug)]
@@ -85,8 +107,28 @@ pub struct SimCore {
     config: SimConfig,
     routing: Box<dyn Routing>,
     dmap: DistanceMap,
-    /// VC buffers, link-major: `link * total_vcs + vn * vcs_per_vn + vc`.
-    vcs: Vec<VcState>,
+    /// VC arena, link-major: index `link * total_vcs + vn * vcs_per_vn +
+    /// vc` into each of the struct-of-arrays buffers below. Occupant id,
+    /// or [`EMPTY`].
+    vc_occ: Vec<u32>,
+    /// Cycle from which the occupant may be allocated onward.
+    vc_ready_at: Vec<u64>,
+    /// Cycle from which an empty buffer may accept a new packet.
+    vc_free_at: Vec<u64>,
+    /// Cycle the current occupant arrived.
+    vc_entered_at: Vec<u64>,
+    /// Hot mirror of the occupant's destination (valid while occupied).
+    vc_dest: Vec<u16>,
+    /// Hot mirror of the occupant's message class (valid while occupied).
+    vc_class: Vec<u8>,
+    /// Hot mirror of the occupant's length in flits (valid while occupied).
+    vc_len: Vec<u32>,
+    /// Per unidirectional link: number of occupied VCs at its input port
+    /// (lets the allocation sweep skip whole links).
+    link_occ: Vec<u32>,
+    /// Occupancy bitmap over link-major VC indices: bit `i % 64` of word
+    /// `i / 64` is set iff index `i` is occupied.
+    occ_bits: Vec<u64>,
     /// Per unidirectional link: busy (serializing) until this cycle.
     link_busy: Vec<u64>,
     /// Per (node, class) injection queues.
@@ -110,17 +152,29 @@ pub struct SimCore {
     /// Number of non-empty injection queues (skips the Phase A injection
     /// sweep and gates fast-forward).
     nonempty_inj: usize,
+    /// Hot mirror of each injection queue head's destination (valid while
+    /// the queue is non-empty) — the Phase A injection sweep reads this
+    /// instead of dereferencing the packet slab.
+    inj_head_dest: Vec<u16>,
     /// Packets parked in ejection queues (counter form of
     /// [`SimCore::ejection_backlog`]).
     ej_backlog: usize,
     rng: ChaCha8Rng,
+    /// Bitmap over (node, class) ejection-queue indices with at least one
+    /// parked packet (lets consumers pop deliveries without sweeping
+    /// every queue; ascending bit order is the sweep order).
+    ej_bits: Vec<u64>,
+    /// Decode table: owning link of each link-major VC index (avoids a
+    /// runtime division in the Phase A sweep).
+    idx_link: Vec<u32>,
+    /// Decode table: VC-within-VN of each link-major VC index.
+    idx_vc: Vec<u8>,
     /// Scratch buffers reused across cycles.
     cand_buf: Vec<Candidate>,
     req_buf: Vec<Vec<LinkRequest>>,
-    /// Links with at least one pending request this cycle.
-    req_links: Vec<u32>,
-    /// Phase A scan order scratch (sorted copy of `active`).
-    active_scratch: Vec<u32>,
+    /// Bitmap over links with at least one pending request this cycle;
+    /// ascending set-bit order replaces sorting a link list.
+    req_bits: Vec<u64>,
     /// Ejection-request scratch.
     eject_buf: Vec<(usize, usize, PacketId)>,
     /// Structured event bus (see [`crate::trace`]).
@@ -150,8 +204,17 @@ impl SimCore {
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let tracer = Tracer::new(&config.trace);
         let telem = Telemetry::new(&config.trace, m, n);
+        let slots = m * total_vcs;
         SimCore {
-            vcs: vec![VcState::default(); m * total_vcs],
+            vc_occ: vec![EMPTY; slots],
+            vc_ready_at: vec![0; slots],
+            vc_free_at: vec![0; slots],
+            vc_entered_at: vec![0; slots],
+            vc_dest: vec![0; slots],
+            vc_class: vec![0; slots],
+            vc_len: vec![0; slots],
+            link_occ: vec![0; m],
+            occ_bits: vec![0; slots.div_ceil(64)],
             link_busy: vec![0; m],
             inj: (0..n * classes).map(|_| VecDeque::new()).collect(),
             ej: (0..n * classes).map(|_| VecDeque::new()).collect(),
@@ -159,15 +222,20 @@ impl SimCore {
             stats: Stats::new(),
             cycle: 0,
             active: Vec::new(),
-            active_pos: vec![u32::MAX; m * total_vcs],
+            active_pos: vec![u32::MAX; slots],
             stride: total_vcs,
             nonempty_inj: 0,
+            inj_head_dest: vec![0; n * classes],
             ej_backlog: 0,
             rng,
+            ej_bits: vec![0; (n * classes).div_ceil(64)],
+            idx_link: (0..slots).map(|i| (i / total_vcs) as u32).collect(),
+            idx_vc: (0..slots)
+                .map(|i| ((i % total_vcs) % config.vcs_per_vn) as u8)
+                .collect(),
             cand_buf: Vec::new(),
             req_buf: (0..m).map(|_| Vec::new()).collect(),
-            req_links: Vec::new(),
-            active_scratch: Vec::new(),
+            req_bits: vec![0; m.div_ceil(64)],
             eject_buf: Vec::new(),
             tracer,
             telem,
@@ -288,16 +356,30 @@ impl SimCore {
         &self.active
     }
 
-    /// Cross-validates the active-VC index against the dense buffer array:
-    /// every occupied VC must be indexed exactly once, every indexed slot
-    /// must be occupied, and the two index halves must agree. Used by the
-    /// deep invariant sweep.
+    /// Occupancy bitmap over link-major VC indices: bit `i % 64` of word
+    /// `i / 64` is set iff the VC at index `i` is occupied.
+    ///
+    /// The bitmap *is* the dense sweep order in O(occupied/64) words:
+    /// iterating set bits ascending visits occupied buffers exactly as the
+    /// `link, vn, vc` loop nest would, with no copying or sorting. SPIN's
+    /// suspect scan uses this for its circular timeout sweep; gather the
+    /// per-VC fields with [`SimCore::vc_state_of_index`].
+    pub fn occupied_vc_bitmap(&self) -> &[u64] {
+        &self.occ_bits
+    }
+
+    /// Cross-validates the occupancy indexes against the dense VC arena:
+    /// every occupied VC must appear exactly once in the active index, the
+    /// per-link occupancy counts and the occupancy bitmap must agree with
+    /// the arena, and the hot mirrors (`dest`, `class`, `len_flits`) must
+    /// match the occupant in the packet slab. Used by the deep invariant
+    /// sweep.
     ///
     /// # Errors
     ///
     /// Returns a description of the first mismatch found.
     pub fn validate_active_index(&self) -> Result<(), String> {
-        let occupied = self.vcs.iter().filter(|s| s.occ.is_some()).count();
+        let occupied = self.vc_occ.iter().filter(|&&o| o != EMPTY).count();
         if occupied != self.active.len() {
             return Err(format!(
                 "active index holds {} entries but {} VCs are occupied",
@@ -305,16 +387,20 @@ impl SimCore {
                 occupied
             ));
         }
-        for (idx, st) in self.vcs.iter().enumerate() {
+        for (idx, &occ) in self.vc_occ.iter().enumerate() {
             let pos = self.active_pos[idx];
-            match (st.occ.is_some(), pos != u32::MAX) {
+            match (occ != EMPTY, pos != u32::MAX) {
                 (true, false) => {
-                    return Err(format!("occupied VC {:?} missing from active index",
-                        self.vc_ref_of_index(idx)));
+                    return Err(format!(
+                        "occupied VC {:?} missing from active index",
+                        self.vc_ref_of_index(idx)
+                    ));
                 }
                 (false, true) => {
-                    return Err(format!("empty VC {:?} present in active index",
-                        self.vc_ref_of_index(idx)));
+                    return Err(format!(
+                        "empty VC {:?} present in active index",
+                        self.vc_ref_of_index(idx)
+                    ));
                 }
                 (true, true) => {
                     if self.active.get(pos as usize) != Some(&(idx as u32)) {
@@ -327,19 +413,64 @@ impl SimCore {
                 }
                 (false, false) => {}
             }
+            if (self.occ_bits[idx / 64] >> (idx % 64)) & 1 != u64::from(occ != EMPTY) {
+                return Err(format!(
+                    "occupancy bitmap disagrees with arena at VC {:?}",
+                    self.vc_ref_of_index(idx)
+                ));
+            }
+            if occ != EMPTY {
+                let Some(p) = self.packets.try_get(PacketId(occ)) else {
+                    return Err(format!(
+                        "VC {:?} holds dead packet id p{occ}",
+                        self.vc_ref_of_index(idx)
+                    ));
+                };
+                if (p.dest.0, p.class.0, p.len_flits)
+                    != (self.vc_dest[idx], self.vc_class[idx], self.vc_len[idx])
+                {
+                    return Err(format!(
+                        "stale hot mirror at VC {:?}: mirror (dest {}, class {}, len {}) \
+                         vs packet (dest {}, class {}, len {})",
+                        self.vc_ref_of_index(idx),
+                        self.vc_dest[idx],
+                        self.vc_class[idx],
+                        self.vc_len[idx],
+                        p.dest.0,
+                        p.class.0,
+                        p.len_flits,
+                    ));
+                }
+            }
+        }
+        for li in 0..self.link_occ.len() {
+            let base = li * self.stride;
+            let count = self.vc_occ[base..base + self.stride]
+                .iter()
+                .filter(|&&o| o != EMPTY)
+                .count() as u32;
+            if count != self.link_occ[li] {
+                return Err(format!(
+                    "link {li} occupancy count {} but {count} VCs are occupied",
+                    self.link_occ[li]
+                ));
+            }
         }
         Ok(())
     }
 
-    /// Registers `idx` as occupied in the active-VC index.
+    /// Registers `idx` as occupied in every occupancy index (active list,
+    /// per-link count, bitmap).
     #[inline]
     fn activate(&mut self, idx: usize) {
         debug_assert_eq!(self.active_pos[idx], u32::MAX, "VC already indexed");
         self.active_pos[idx] = self.active.len() as u32;
         self.active.push(idx as u32);
+        self.link_occ[idx / self.stride] += 1;
+        self.occ_bits[idx / 64] |= 1 << (idx % 64);
     }
 
-    /// Removes `idx` from the active-VC index (swap-remove, O(1)).
+    /// Removes `idx` from every occupancy index (swap-remove, O(1)).
     #[inline]
     fn deactivate(&mut self, idx: usize) {
         let pos = self.active_pos[idx] as usize;
@@ -350,11 +481,52 @@ impl SimCore {
             self.active[pos] = last;
             self.active_pos[last as usize] = pos as u32;
         }
+        self.link_occ[idx / self.stride] -= 1;
+        self.occ_bits[idx / 64] &= !(1 << (idx % 64));
     }
 
-    /// State of one VC buffer.
-    pub fn vc(&self, r: VcRef) -> &VcState {
-        &self.vcs[self.vc_index(r)]
+    /// Marks `idx` occupied by `pid` and fills the hot mirrors from the
+    /// packet slab (the one slab read per occupation; every later sweep
+    /// visit reads only the arena). `free_at` is left untouched — an
+    /// occupied buffer's drain deadline belongs to its previous tenant.
+    #[inline]
+    fn occupy_slot(&mut self, idx: usize, pid: PacketId, ready_at: u64, entered_at: u64) {
+        let p = self.packets.get(pid);
+        let (dest, class, len) = (p.dest.0, p.class.0, p.len_flits);
+        self.vc_occ[idx] = pid.0;
+        self.vc_ready_at[idx] = ready_at;
+        self.vc_entered_at[idx] = entered_at;
+        self.vc_dest[idx] = dest;
+        self.vc_class[idx] = class;
+        self.vc_len[idx] = len;
+        self.activate(idx);
+    }
+
+    /// Marks `idx` empty, accepting new packets from `free_at` (tail
+    /// serialization).
+    #[inline]
+    fn vacate_slot(&mut self, idx: usize, free_at: u64) {
+        self.vc_occ[idx] = EMPTY;
+        self.vc_free_at[idx] = free_at;
+        self.deactivate(idx);
+    }
+
+    /// Snapshot of one VC buffer's state (see [`VcState`]).
+    pub fn vc(&self, r: VcRef) -> VcState {
+        self.vc_state_of_index(self.vc_index(r))
+    }
+
+    /// Snapshot of the VC at link-major array index `idx` (pairs with
+    /// [`SimCore::occupied_vc_indices`] / [`SimCore::occupied_vc_bitmap`]
+    /// without a round-trip through [`VcRef`]).
+    pub fn vc_state_of_index(&self, idx: usize) -> VcState {
+        let occ = self.vc_occ[idx];
+        VcState {
+            occ: (occ != EMPTY).then_some(PacketId(occ)),
+            ready_at: self.vc_ready_at[idx],
+            free_at: self.vc_free_at[idx],
+            entered_at: self.vc_entered_at[idx],
+        }
     }
 
     /// Shared access to a live packet.
@@ -470,6 +642,7 @@ impl SimCore {
         let q = self.qidx(src, class);
         if self.inj[q].is_empty() {
             self.nonempty_inj += 1;
+            self.inj_head_dest[q] = dest.0;
         }
         self.inj[q].push_back(pid);
         self.stats.generated += 1;
@@ -509,6 +682,7 @@ impl SimCore {
         let q = self.qidx(src, class);
         if self.inj[q].is_empty() {
             self.nonempty_inj += 1;
+            self.inj_head_dest[q] = dest.0;
         }
         self.inj[q].push_back(pid);
         self.stats.generated += 1;
@@ -527,9 +701,25 @@ impl SimCore {
     pub fn pop_ejection(&mut self, node: NodeId, class: MessageClass) -> Option<Delivered> {
         let q = self.qidx(node, class);
         let pid = self.ej[q].pop_front()?;
+        if self.ej[q].is_empty() {
+            self.ej_bits[q / 64] &= !(1u64 << (q % 64));
+        }
         self.ej_backlog -= 1;
         let packet = self.packets.remove(pid);
         Some(Delivered { packet, id: pid })
+    }
+
+    /// Consumes the head of the lowest-indexed non-empty ejection queue
+    /// (ascending (node, class) order — the same order as sweeping
+    /// [`SimCore::pop_ejection`] over every node and class, so endpoint
+    /// models that drain everything each cycle retire packets in the
+    /// identical sequence without visiting empty queues).
+    pub fn pop_next_ejection(&mut self) -> Option<Delivered> {
+        let wi = self.ej_bits.iter().position(|&w| w != 0)?;
+        let q = wi * 64 + self.ej_bits[wi].trailing_zeros() as usize;
+        let node = NodeId((q / self.config.num_classes) as u16);
+        let class = MessageClass((q % self.config.num_classes) as u8);
+        self.pop_ejection(node, class)
     }
 
     /// Routing candidates for an explicit context (used by allocation, the
@@ -577,8 +767,8 @@ impl SimCore {
     /// Whether the VC buffer can accept a new packet right now.
     #[inline]
     pub fn vc_is_free(&self, r: VcRef) -> bool {
-        let s = &self.vcs[self.vc_index(r)];
-        s.occ.is_none() && s.free_at <= self.cycle
+        let idx = self.vc_index(r);
+        self.vc_occ[idx] == EMPTY && self.vc_free_at[idx] <= self.cycle
     }
 
     /// Whether the link can start a new serialization right now.
@@ -590,18 +780,19 @@ impl SimCore {
     /// The routing context for the packet occupying `vcref` (None if the VC
     /// is empty).
     pub fn ctx_for_vc(&self, r: VcRef, sample: u64) -> Option<RouteCtx> {
-        let s = self.vc(r);
-        let pid = s.occ?;
-        let p = self.packets.get(pid);
+        let idx = self.vc_index(r);
+        if self.vc_occ[idx] == EMPTY {
+            return None;
+        }
         let cur = self.topo.link(r.link).dst;
         Some(RouteCtx {
             cur,
-            dest: p.dest,
+            dest: NodeId(self.vc_dest[idx]),
             arrived_via: Some(r.link),
             in_escape: self.config.escape_sticky && r.vc == 0,
             blocked_for: self
                 .cycle
-                .saturating_sub(s.entered_at.max(s.ready_at)),
+                .saturating_sub(self.vc_entered_at[idx].max(self.vc_ready_at[idx])),
             sample,
         })
     }
@@ -646,7 +837,7 @@ impl SimCore {
         }
         let mut t = u64::MAX;
         for &idx in &self.active {
-            t = t.min(self.vcs[idx as usize].ready_at);
+            t = t.min(self.vc_ready_at[idx as usize]);
         }
         (t > self.cycle).then_some(t)
     }
@@ -697,40 +888,25 @@ impl SimCore {
         // Phase A: VC requests, visiting occupied buffers in ascending
         // link-major index order — the exact order of the former dense
         // `link, vn, vc` loop nest, so RNG draws and trace events land on
-        // identical buffers in identical sequence.
+        // identical buffers in identical sequence. Ascending set-bit
+        // iteration over the occupancy bitmap IS that order, and visits
+        // exactly the occupied slots: a half-empty stride (baseline
+        // configs idle 2 of 3 VNs under single-class traffic) costs
+        // nothing. Phase A only registers requests — occupancy, and
+        // therefore the bitmap, cannot change mid-sweep. The idx → (link,
+        // vc) decode reads two precomputed tables instead of dividing by
+        // the runtime stride.
         let mut eject_reqs = std::mem::take(&mut self.eject_buf);
         eject_reqs.clear();
-        if self.active.len() * 8 >= self.vcs.len() {
-            // Near saturation the dense loop nest is cheaper than
-            // copy + sort, visits the same buffers in the same order, and
-            // gets link/vc as loop counters instead of divisions.
-            let num_links = self.topo.num_unidirectional_links();
-            let vns = self.config.vns;
-            let vcs_per_vn = self.config.vcs_per_vn;
-            for li in 0..num_links {
-                let link = LinkId(li as u32);
-                let base = li * self.stride;
-                for vn in 0..vns {
-                    for vc in 0..vcs_per_vn {
-                        let idx = base + vn * vcs_per_vn + vc;
-                        if self.vcs[idx].occ.is_some() {
-                            self.phase_a_vc(idx, link, vc as u8, &mut eject_reqs);
-                        }
-                    }
-                }
-            }
-        } else {
-            let mut scan = std::mem::take(&mut self.active_scratch);
-            scan.clear();
-            scan.extend_from_slice(&self.active);
-            scan.sort_unstable();
-            for &iu in &scan {
-                let idx = iu as usize;
-                let link = LinkId((idx / self.stride) as u32);
-                let vc = (idx % self.config.vcs_per_vn) as u8;
+        for wi in 0..self.occ_bits.len() {
+            let mut w = self.occ_bits[wi];
+            while w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let link = LinkId(self.idx_link[idx]);
+                let vc = self.idx_vc[idx];
                 self.phase_a_vc(idx, link, vc, &mut eject_reqs);
             }
-            self.active_scratch = scan;
         }
         // Phase A: injection requests (head of each per-class queue);
         // skipped wholesale when every queue is empty.
@@ -744,7 +920,11 @@ impl SimCore {
                     let Some(&pid) = self.inj[q].front() else {
                         continue;
                     };
-                    let p = self.packets.get(pid);
+                    // The head's destination comes from the hot mirror, not
+                    // the slab: under backpressure every queue is non-empty
+                    // and the slab spans megabytes.
+                    let dest = NodeId(self.inj_head_dest[q]);
+                    debug_assert_eq!(dest, self.packets.get(pid).dest, "stale head mirror");
                     let sample = self.rng.gen::<u64>();
                     // Source-queue waiting is ordinary queueing, not deadlock
                     // pressure: a waiting injection holds no network resource,
@@ -752,7 +932,7 @@ impl SimCore {
                     // always keep waiting for a non-escape buffer).
                     let ctx = RouteCtx {
                         cur: node,
-                        dest: p.dest,
+                        dest,
                         arrived_via: None,
                         in_escape: false,
                         blocked_for: 0,
@@ -794,11 +974,10 @@ impl SimCore {
                 let rot = (now as usize + q) % group.len();
                 let win = (0..group.len())
                     .max_by_key(|&i| {
-                        let st = &self.vcs[group[i].1];
-                        (
-                            now.saturating_sub(st.entered_at.max(st.ready_at)),
-                            usize::from(i == rot),
-                        )
+                        let idx = group[i].1;
+                        let blocked =
+                            now.saturating_sub(self.vc_entered_at[idx].max(self.vc_ready_at[idx]));
+                        (blocked, usize::from(i == rot))
                     })
                     .expect("non-empty group");
                 let (_, idx, pid) = group[win];
@@ -812,29 +991,32 @@ impl SimCore {
         // first (age-based arbitration bounds worst-case blocking, as in
         // real NoC allocators); rotation breaks ties. Only links that
         // received a request are visited, in ascending id order (the
-        // former dense sweep's order).
-        let mut req_links = std::mem::take(&mut self.req_links);
-        req_links.sort_unstable();
-        for &liu in &req_links {
-            let li = liu as usize;
-            let reqs = std::mem::take(&mut self.req_buf[li]);
-            let rot = (now as usize + li) % reqs.len();
-            let win = (0..reqs.len())
-                .max_by_key(|&i| (reqs[i].blocked_for, usize::from(i == rot)))
-                .expect("non-empty request list");
-            let req = &reqs[win];
-            self.commit_move(req, LinkId(liu));
-            let mut reqs = reqs;
-            reqs.clear();
-            self.req_buf[li] = reqs;
+        // former dense sweep's order: ascending set-bit iteration needs
+        // no sort).
+        for wi in 0..self.req_bits.len() {
+            let mut w = self.req_bits[wi];
+            self.req_bits[wi] = 0;
+            while w != 0 {
+                let li = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let reqs = std::mem::take(&mut self.req_buf[li]);
+                let rot = (now as usize + li) % reqs.len();
+                let win = (0..reqs.len())
+                    .max_by_key(|&i| (reqs[i].blocked_for, usize::from(i == rot)))
+                    .expect("non-empty request list");
+                let req = &reqs[win];
+                self.commit_move(req, LinkId(li as u32));
+                let mut reqs = reqs;
+                reqs.clear();
+                self.req_buf[li] = reqs;
+            }
         }
-        req_links.clear();
-        self.req_links = req_links;
     }
 
     /// Phase A body for one occupied VC buffer: eject request, or a routed
     /// move request (one RNG draw per visited ready non-ejecting head —
-    /// the determinism contract's draw schedule).
+    /// the determinism contract's draw schedule). Reads only the VC arena
+    /// and its hot mirrors; the packet slab is never touched here.
     #[inline]
     fn phase_a_vc(
         &mut self,
@@ -844,29 +1026,31 @@ impl SimCore {
         eject_reqs: &mut Vec<(usize, usize, PacketId)>,
     ) {
         let now = self.cycle;
-        let st = self.vcs[idx];
-        let pid = st.occ.expect("phase A visits only occupied VCs");
-        if st.ready_at > now {
+        let pid = PacketId(self.vc_occ[idx]);
+        let ready_at = self.vc_ready_at[idx];
+        if ready_at > now {
             return;
         }
-        let p = self.packets.get(pid);
+        let dest = NodeId(self.vc_dest[idx]);
+        let class = MessageClass(self.vc_class[idx]);
+        debug_assert_eq!(dest, self.packets.get(pid).dest, "stale dest mirror");
         let here = self.topo.link(link).dst;
-        if p.dest == here {
-            eject_reqs.push((self.qidx(here, p.class), idx, pid));
+        if dest == here {
+            eject_reqs.push((self.qidx(here, class), idx, pid));
             return;
         }
         let sample = self.rng.gen::<u64>();
         let in_escape = self.config.escape_sticky && vc == 0;
-        let blocked_for = now.saturating_sub(st.entered_at.max(st.ready_at));
+        let blocked_for = now.saturating_sub(self.vc_entered_at[idx].max(ready_at));
         let ctx = RouteCtx {
             cur: here,
-            dest: p.dest,
+            dest,
             arrived_via: Some(link),
             in_escape,
             blocked_for,
             sample,
         };
-        let vn = self.config.vn_of_class(p.class) as u8;
+        let vn = self.config.vn_of_class(class) as u8;
         debug_assert_eq!(
             vn,
             ((idx % self.stride) / self.config.vcs_per_vn) as u8,
@@ -933,9 +1117,7 @@ impl SimCore {
         self.cand_buf = cands;
         if let Some((link, target)) = chosen {
             let li = link.index();
-            if self.req_buf[li].is_empty() {
-                self.req_links.push(li as u32);
-            }
+            self.req_bits[li / 64] |= 1u64 << (li % 64);
             self.req_buf[li].push(LinkRequest {
                 source,
                 pid,
@@ -968,44 +1150,31 @@ impl SimCore {
 
     fn commit_move(&mut self, req: &LinkRequest, out_link: LinkId) {
         let now = self.cycle;
-        let p_len;
-        let from_node;
         // Free the source.
         match req.source {
             MoveSource::Vc(idx) => {
-                let len = self.packets.get(req.pid).len_flits as u64;
-                let s = &mut self.vcs[idx];
-                debug_assert_eq!(s.occ, Some(req.pid));
-                s.occ = None;
-                s.free_at = now + len;
-                self.deactivate(idx);
+                debug_assert_eq!(self.vc_occ[idx], req.pid.0);
+                let len = self.vc_len[idx] as u64;
+                self.vacate_slot(idx, now + len);
             }
             MoveSource::Injection { node, class } => {
                 let q = self.qidx(node, class);
                 let popped = self.inj[q].pop_front();
                 debug_assert_eq!(popped, Some(req.pid));
-                if self.inj[q].is_empty() {
-                    self.nonempty_inj -= 1;
+                match self.inj[q].front() {
+                    Some(&head) => self.inj_head_dest[q] = self.packets.get(head).dest.0,
+                    None => self.nonempty_inj -= 1,
                 }
-                let p = self.packets.get_mut(req.pid);
-                p.inject_cycle = now;
+                self.packets.get_mut(req.pid).inject_cycle = now;
                 self.stats.injected += 1;
             }
         }
-        {
-            let p = self.packets.get(req.pid);
-            p_len = p.len_flits as u64;
-            from_node = match req.source {
-                MoveSource::Vc(_) | MoveSource::Injection { .. } => {
-                    self.topo.link(out_link).src
-                }
-            };
-        }
+        // One slab read covers the rest of the commit (`Packet` is `Copy`).
+        let p = *self.packets.get(req.pid);
+        let p_len = p.len_flits as u64;
+        let from_node = self.topo.link(out_link).src;
         // Occupy the target VC.
-        let vn = {
-            let p = self.packets.get(req.pid);
-            self.config.vn_of_class(p.class) as u8
-        };
+        let vn = self.config.vn_of_class(p.class) as u8;
         let cand = Candidate {
             link: out_link,
             target: req.target,
@@ -1015,31 +1184,22 @@ impl SimCore {
             .expect("target was free at request time and only one grant per link");
         let tidx = self.vc_index(target);
         let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
-        let slot = &mut self.vcs[tidx];
-        slot.occ = Some(req.pid);
-        slot.ready_at = arrive;
-        slot.entered_at = now;
-        self.activate(tidx);
+        self.occupy_slot(tidx, req.pid, arrive, now);
         self.link_busy[out_link.index()] = now + p_len;
         // Packet bookkeeping.
         let to_node = self.topo.link(out_link).dst;
-        let (old_d, new_d) = {
-            let p = self.packets.get(req.pid);
-            (
-                self.dmap.distance(from_node, p.dest),
-                self.dmap.distance(to_node, p.dest),
-            )
-        };
+        let old_d = self.dmap.distance(from_node, p.dest);
+        let new_d = self.dmap.distance(to_node, p.dest);
         let misroute = new_d >= old_d;
-        let p = self.packets.get_mut(req.pid);
-        p.loc = Location::Vc {
+        let pm = self.packets.get_mut(req.pid);
+        pm.loc = Location::Vc {
             link: out_link,
             vn: target.vn,
             vc: target.vc,
         };
-        p.hops += 1;
+        pm.hops += 1;
         if misroute {
-            p.misroutes += 1;
+            pm.misroutes += 1;
             self.stats.misroutes += 1;
         }
         self.stats.hops += 1;
@@ -1049,10 +1209,7 @@ impl SimCore {
             self.telem.note_link_flits(out_link.index(), p_len);
         }
         if self.tracer.enabled() {
-            let (src, dest, class) = {
-                let p = self.packets.get(req.pid);
-                (p.src.0, p.dest.0, p.class.index() as u8)
-            };
+            let (src, dest, class) = (p.src.0, p.dest.0, p.class.index() as u8);
             if matches!(req.source, MoveSource::Injection { .. }) {
                 self.tracer.push(TraceEvent::Inject {
                     cycle: now,
@@ -1081,12 +1238,9 @@ impl SimCore {
 
     fn commit_eject(&mut self, vc_idx: usize, pid: PacketId) {
         let now = self.cycle;
-        let len = self.packets.get(pid).len_flits as u64;
-        let s = &mut self.vcs[vc_idx];
-        debug_assert_eq!(s.occ, Some(pid));
-        s.occ = None;
-        s.free_at = now + len;
-        self.deactivate(vc_idx);
+        debug_assert_eq!(self.vc_occ[vc_idx], pid.0);
+        let len = self.vc_len[vc_idx] as u64;
+        self.vacate_slot(vc_idx, now + len);
         self.finish_delivery(pid, false);
     }
 
@@ -1096,11 +1250,18 @@ impl SimCore {
         let now = self.cycle;
         let (dest, class, len, inject, birth) = {
             let p = self.packets.get(pid);
-            (p.dest, p.class, p.len_flits as u64, p.inject_cycle, p.birth_cycle)
+            (
+                p.dest,
+                p.class,
+                p.len_flits as u64,
+                p.inject_cycle,
+                p.birth_cycle,
+            )
         };
         let q = self.qidx(dest, class);
         debug_assert!(self.ej[q].len() < self.config.ej_queue_capacity || via_drain);
         self.ej[q].push_back(pid);
+        self.ej_bits[q / 64] |= 1u64 << (q % 64);
         self.ej_backlog += 1;
         self.packets.get_mut(pid).loc = Location::EjectionQueue(dest);
         let net = now.saturating_sub(inject) + len;
@@ -1139,15 +1300,14 @@ impl SimCore {
         let mut staged: Vec<(PacketId, VcRef)> = Vec::with_capacity(moves.len());
         for m in moves {
             let fidx = self.vc_index(m.from);
-            let pid = self.vcs[fidx]
-                .occ
-                .expect("forced move from an empty VC");
+            let occ = self.vc_occ[fidx];
+            assert!(occ != EMPTY, "forced move from an empty VC");
             debug_assert_eq!(
                 self.topo.link(m.from.link).dst,
                 self.topo.link(m.to.link).src,
                 "forced move must pivot at the from-link's head router"
             );
-            staged.push((pid, m.to));
+            staged.push((PacketId(occ), m.to));
         }
         if cfg!(debug_assertions) {
             let mut froms: Vec<usize> = moves.iter().map(|m| self.vc_index(m.from)).collect();
@@ -1162,14 +1322,8 @@ impl SimCore {
         // Clear all sources first (atomic permutation semantics).
         for m in moves {
             let fidx = self.vc_index(m.from);
-            let len = self.vcs[fidx]
-                .occ
-                .map(|pid| self.packets.get(pid).len_flits as u64)
-                .unwrap_or(0);
-            let s = &mut self.vcs[fidx];
-            s.occ = None;
-            s.free_at = now + len;
-            self.deactivate(fidx);
+            let len = self.vc_len[fidx] as u64;
+            self.vacate_slot(fidx, now + len);
         }
         // Fill targets / eject.
         let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
@@ -1219,14 +1373,10 @@ impl SimCore {
             }
             let tidx = self.vc_index(to);
             debug_assert!(
-                self.vcs[tidx].occ.is_none(),
+                self.vc_occ[tidx] == EMPTY,
                 "forced-move target still occupied after clearing sources"
             );
-            let slot = &mut self.vcs[tidx];
-            slot.occ = Some(pid);
-            slot.ready_at = arrive;
-            slot.entered_at = now;
-            self.activate(tidx);
+            self.occupy_slot(tidx, pid, arrive, now);
             self.packets.get_mut(pid).loc = Location::Vc {
                 link: to.link,
                 vn: to.vn,
@@ -1265,7 +1415,7 @@ impl SimCore {
             "packet class must match the VC's virtual network"
         );
         let idx = self.vc_index(r);
-        assert!(self.vcs[idx].occ.is_none(), "VC {r:?} is occupied");
+        assert!(self.vc_occ[idx] == EMPTY, "VC {r:?} is occupied");
         let pid = self.packets.insert(Packet {
             src,
             dest,
@@ -1283,10 +1433,7 @@ impl SimCore {
             forced_hops: 0,
             tag: 0,
         });
-        self.vcs[idx].occ = Some(pid);
-        self.vcs[idx].ready_at = self.cycle;
-        self.vcs[idx].entered_at = self.cycle;
-        self.activate(idx);
+        self.occupy_slot(idx, pid, self.cycle, self.cycle);
         self.stats.generated += 1;
         self.stats.injected += 1;
         pid
@@ -1305,14 +1452,13 @@ impl SimCore {
     /// deadlock-free reference (Fig 5) — never by a real mechanism.
     pub fn oracle_deliver(&mut self, r: VcRef) {
         let idx = self.vc_index(r);
-        let Some(pid) = self.vcs[idx].occ else {
+        let occ = self.vc_occ[idx];
+        if occ == EMPTY {
             return;
-        };
-        self.vcs[idx].occ = None;
-        self.vcs[idx].free_at = self.cycle;
-        self.deactivate(idx);
+        }
+        self.vacate_slot(idx, self.cycle);
         self.stats.oracle_resolutions += 1;
-        self.finish_delivery(pid, true);
+        self.finish_delivery(PacketId(occ), true);
     }
 
     /// Direct RNG access for endpoint models that want the core's seeded

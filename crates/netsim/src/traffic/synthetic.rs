@@ -141,15 +141,7 @@ impl Endpoints for SyntheticTraffic {
         // ejection queue holds anything; consuming draws no randomness, so
         // the gate cannot shift the RNG stream).
         let n = core.topology().num_nodes();
-        if core.ejection_backlog() > 0 {
-            let classes = core.config().num_classes;
-            for ni in 0..n {
-                let node = NodeId(ni as u16);
-                for c in 0..classes {
-                    while core.pop_ejection(node, MessageClass(c as u8)).is_some() {}
-                }
-            }
-        }
+        while core.pop_next_ejection().is_some() {}
         if core.cycle() >= self.stop_at {
             return;
         }
@@ -161,7 +153,13 @@ impl Endpoints for SyntheticTraffic {
             }
             if let Some(dest) = self.pattern.dest(core.topology(), node, &mut self.rng) {
                 self.seq += 1;
-                core.try_enqueue_packet(node, dest, MessageClass::REQUEST, self.len_flits, self.seq);
+                core.try_enqueue_packet(
+                    node,
+                    dest,
+                    MessageClass::REQUEST,
+                    self.len_flits,
+                    self.seq,
+                );
             }
         }
     }
@@ -208,7 +206,10 @@ mod tests {
             Some(NodeId(6))
         );
         // Diagonal maps to itself → None.
-        assert_eq!(SyntheticPattern::Transpose.dest(&t, NodeId(5), &mut rng), None);
+        assert_eq!(
+            SyntheticPattern::Transpose.dest(&t, NodeId(5), &mut rng),
+            None
+        );
     }
 
     #[test]

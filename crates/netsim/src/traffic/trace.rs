@@ -57,18 +57,10 @@ impl Endpoints for TraceTraffic {
     }
 
     fn pre_cycle(&mut self, core: &mut SimCore) {
-        // Consuming deliveries draws no randomness; skipping the sweep when
-        // every ejection queue is empty is exact.
-        if core.ejection_backlog() > 0 {
-            let classes = core.config().num_classes;
-            let n = core.topology().num_nodes();
-            for ni in 0..n {
-                let node = NodeId(ni as u16);
-                for c in 0..classes {
-                    while core.pop_ejection(node, MessageClass(c as u8)).is_some() {}
-                }
-            }
-        }
+        // Consuming deliveries draws no randomness, and the non-empty-queue
+        // bitmap retires them in the same ascending (node, class) order as
+        // a sweep over every queue.
+        while core.pop_next_ejection().is_some() {}
         while self.next < self.events.len() && self.events[self.next].cycle <= core.cycle() {
             let e = self.events[self.next];
             self.next += 1;

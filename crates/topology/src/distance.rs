@@ -30,8 +30,13 @@ pub struct DistanceMap {
     num_nodes: usize,
     /// `dist[src * n + dst]`, `u16::MAX` = unreachable.
     dist: Vec<u16>,
-    /// `productive[cur * n + dst]` = outgoing links on a minimal path.
-    productive: Vec<Vec<LinkId>>,
+    /// Productive-link sets in CSR form: the links for pair `(cur, dst)`
+    /// are `prod_links[prod_off[cur * n + dst] .. prod_off[cur * n + dst + 1]]`.
+    /// One lookup is two loads into contiguous arrays — the per-packet
+    /// routing query in the simulator's hot loop — instead of chasing a
+    /// per-pair heap `Vec`.
+    prod_off: Vec<u32>,
+    prod_links: Vec<LinkId>,
     diameter: u16,
     avg_distance: f64,
 }
@@ -59,26 +64,21 @@ impl DistanceMap {
                 }
             }
         }
-        let mut productive = vec![Vec::new(); n * n];
+        // Build the CSR directly: the (cur, dest) row-major visit order is
+        // exactly the offset order, so links append to one flat buffer.
+        let mut prod_off = Vec::with_capacity(n * n + 1);
+        let mut prod_links = Vec::new();
+        prod_off.push(0u32);
         for cur in topo.nodes() {
             for dest in topo.nodes() {
-                if cur == dest {
-                    continue;
-                }
                 let d = dist[cur.index() * n + dest.index()];
-                if d == u16::MAX {
-                    continue;
-                }
-                let links = topo
-                    .out_links(cur)
-                    .iter()
-                    .copied()
-                    .filter(|&l| {
+                if cur != dest && d != u16::MAX {
+                    prod_links.extend(topo.out_links(cur).iter().copied().filter(|&l| {
                         let next = topo.link(l).dst;
                         dist[next.index() * n + dest.index()] == d - 1
-                    })
-                    .collect();
-                productive[cur.index() * n + dest.index()] = links;
+                    }));
+                }
+                prod_off.push(prod_links.len() as u32);
             }
         }
         let mut diameter = 0u16;
@@ -100,7 +100,8 @@ impl DistanceMap {
         DistanceMap {
             num_nodes: n,
             dist,
-            productive,
+            prod_off,
+            prod_links,
             diameter,
             avg_distance: if pairs == 0 {
                 0.0
@@ -119,7 +120,8 @@ impl DistanceMap {
     /// Outgoing links of `cur` that lie on a minimal path to `dest`.
     #[inline]
     pub fn productive_links(&self, cur: NodeId, dest: NodeId) -> &[LinkId] {
-        &self.productive[cur.index() * self.num_nodes + dest.index()]
+        let p = cur.index() * self.num_nodes + dest.index();
+        &self.prod_links[self.prod_off[p] as usize..self.prod_off[p + 1] as usize]
     }
 
     /// Longest shortest path between any reachable pair.
@@ -143,7 +145,7 @@ impl DistanceMap {
                 if s == t {
                     continue;
                 }
-                sum += self.productive[s * n + t].len();
+                sum += (self.prod_off[s * n + t + 1] - self.prod_off[s * n + t]) as usize;
                 count += 1;
             }
         }

@@ -35,7 +35,14 @@ cargo test -p drain-bench --test golden_trace -q
 echo "==> trace overhead benchmark (smoke mode)"
 cargo bench -p drain-bench --bench trace_overhead -- --test
 
-echo "==> kernel benchmark (smoke mode)"
+echo "==> kernel benchmark (smoke mode: untimed low + saturated presets)"
+# One untimed pass of every (preset, scheme) point — including the
+# saturated preset, so the dense-sweep path can't silently break — plus
+# the cross-refactor golden pins: trace-byte and Stats digests recorded
+# before the struct-of-arrays kernel landed (see DESIGN.md §7.6). Any
+# change to visit order, RNG draw schedule, or candidate ordering fails
+# here, not in a figure regeneration a week later.
 scripts/bench_kernel.sh --test
+cargo test -p drain-bench --test golden_pin -q
 
 echo "All checks passed."

@@ -4,7 +4,10 @@
 //! 2. a warm cache rerun simulates nothing and returns identical points,
 //! 3. the occupancy-driven kernel's idle-cycle fast-forward is invisible:
 //!    the same seeded point produces identical [`drain_netsim::Stats`] and
-//!    byte-identical traces with the gate forced off and on.
+//!    byte-identical traces with the gate forced off and on,
+//! 4. the sharded allocation kernel is invisible: the same seeded point
+//!    produces identical [`drain_netsim::Stats`], the same final cycle and
+//!    byte-identical traces at every shard count.
 
 use drain_bench::engine::SweepEngine;
 use drain_bench::cache::ResultCache;
@@ -188,6 +191,89 @@ fn fast_forward_gate_keeps_traces_byte_identical() {
             "{}: trace bytes must not depend on the fast-forward gate",
             scheme.label()
         );
+    }
+}
+
+/// One seeded point on the `shards`-way kernel (1 = serial reference).
+/// Forces the sharded path from cycle 0 via `set_shards`.
+fn point_stats_sharded(scheme: Scheme, rate: f64, shards: usize) -> (Stats, u64) {
+    let topo = irregular_topo();
+    let mut sim =
+        scheme.synthetic_sim(&topo, false, SyntheticPattern::UniformRandom, rate, 11, 512);
+    sim.set_shards(shards);
+    sim.run(6_000);
+    (sim.stats().clone(), sim.core().cycle())
+}
+
+/// Sharded-kernel differential: every headline scheme at a low and a
+/// saturated rate must produce identical `Stats` (every counter and full
+/// latency histograms) and the same final cycle on the 2- and 4-shard
+/// kernels as on the serial kernel.
+#[test]
+fn sharded_kernel_is_bit_identical_across_schemes() {
+    for scheme in Scheme::headline() {
+        for rate in [0.01, 0.35] {
+            let (serial, serial_cycle) = point_stats_sharded(scheme, rate, 1);
+            assert!(serial.ejected > 0, "{} at rate {rate} delivered nothing", scheme.label());
+            for k in [2usize, 4] {
+                let (sharded, cycle) = point_stats_sharded(scheme, rate, k);
+                assert_eq!(
+                    serial,
+                    sharded,
+                    "{} at rate {rate}: stats must not depend on shard count {k}",
+                    scheme.label()
+                );
+                assert_eq!(
+                    serial_cycle,
+                    cycle,
+                    "{} at rate {rate}: final cycle must not depend on shard count {k}",
+                    scheme.label()
+                );
+            }
+        }
+    }
+}
+
+/// Same differential on the trace stream: with event capture on, the
+/// serial and the 2-/4-shard kernels must yield byte-identical JSONL.
+#[test]
+fn sharded_kernel_keeps_traces_byte_identical() {
+    let topo = irregular_topo();
+    for scheme in Scheme::headline() {
+        let traced = |shards: usize| -> String {
+            let mut sim = scheme.synthetic_sim_traced(
+                &topo,
+                false,
+                SyntheticPattern::UniformRandom,
+                0.10,
+                11,
+                512,
+                1,
+                TraceConfig::events_on(),
+            );
+            sim.set_shards(shards);
+            sim.set_trace_sink(TraceSink::Memory(Vec::new()));
+            sim.run(2_000);
+            let events = sim
+                .core_mut()
+                .tracer_mut()
+                .take_memory()
+                .expect("memory sink installed");
+            assert!(!events.is_empty());
+            events
+                .iter()
+                .map(|e| e.to_jsonl() + "\n")
+                .collect()
+        };
+        let serial = traced(1);
+        for k in [2usize, 4] {
+            assert_eq!(
+                serial,
+                traced(k),
+                "{}: trace bytes must not depend on shard count {k}",
+                scheme.label()
+            );
+        }
     }
 }
 

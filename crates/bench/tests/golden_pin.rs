@@ -9,7 +9,9 @@
 //!
 //! The pinned digests were captured on the occupancy-driven kernel (PR 5)
 //! and must survive the struct-of-arrays arena refactor (PR 6) unchanged:
-//! same seeds, same cycles, same bytes.
+//! same seeds, same cycles, same bytes. The sharded kernel (PR 7) is held
+//! to the same constants: the 4-shard runs below must reproduce the
+//! digests captured on the serial kernel bit for bit.
 //!
 //! If a *deliberate* behaviour change invalidates them, re-capture with
 //! `cargo test -p drain-bench --test golden_pin -- --nocapture` (each test
@@ -44,7 +46,7 @@ fn headline() -> [(&'static str, Scheme); 3] {
 /// injection (far past saturation, the bench's `saturated` preset rate),
 /// a short drain epoch so forced movement appears in-window, 2 000 cycles
 /// of JSONL event bytes.
-fn saturated_trace_digest(scheme: Scheme) -> u64 {
+fn saturated_trace_digest(scheme: Scheme, shards: usize) -> u64 {
     let topo = Topology::mesh(4, 4);
     let mut sim = scheme.synthetic_sim_traced(
         &topo,
@@ -56,6 +58,7 @@ fn saturated_trace_digest(scheme: Scheme) -> u64 {
         1,
         TraceConfig::events_on(),
     );
+    sim.set_shards(shards);
     sim.set_trace_sink(TraceSink::Memory(Vec::new()));
     sim.run(2_000);
     let events = sim
@@ -78,7 +81,7 @@ fn saturated_trace_digest(scheme: Scheme) -> u64 {
 /// Digest of a saturated untraced run's full statistics: mesh(8,8) (the
 /// bench topology), 40% injection, 2 000 cycles, `Stats` debug-formatted
 /// (every counter plus both full latency histograms).
-fn saturated_stats_digest(scheme: Scheme) -> u64 {
+fn saturated_stats_digest(scheme: Scheme, shards: usize) -> u64 {
     let topo = Topology::mesh(8, 8);
     let mut sim = scheme.synthetic_sim(
         &topo,
@@ -88,6 +91,7 @@ fn saturated_stats_digest(scheme: Scheme) -> u64 {
         17,
         Scheme::DEFAULT_EPOCH,
     );
+    sim.set_shards(shards);
     sim.run(2_000);
     assert!(
         sim.stats().ejected > 0,
@@ -113,7 +117,7 @@ const PINNED_STATS: [(&str, u64); 3] = [
 fn saturated_golden_trace_is_pinned() {
     let got: Vec<(&str, u64)> = headline()
         .into_iter()
-        .map(|(id, scheme)| (id, saturated_trace_digest(scheme)))
+        .map(|(id, scheme)| (id, saturated_trace_digest(scheme, 1)))
         .collect();
     for (id, d) in &got {
         println!("trace {id}: {d:#018x}");
@@ -128,7 +132,7 @@ fn saturated_golden_trace_is_pinned() {
 fn saturated_stats_are_pinned() {
     let got: Vec<(&str, u64)> = headline()
         .into_iter()
-        .map(|(id, scheme)| (id, saturated_stats_digest(scheme)))
+        .map(|(id, scheme)| (id, saturated_stats_digest(scheme, 1)))
         .collect();
     for (id, d) in &got {
         println!("stats {id}: {d:#018x}");
@@ -136,5 +140,39 @@ fn saturated_stats_are_pinned() {
     assert_eq!(
         got, PINNED_STATS,
         "saturated stats drifted from the pinned digests"
+    );
+}
+
+/// The 4-shard kernel must reproduce the *same* pinned trace digests the
+/// serial kernel was captured with — not merely be self-consistent.
+#[test]
+fn four_shard_golden_trace_matches_serial_pins() {
+    let got: Vec<(&str, u64)> = headline()
+        .into_iter()
+        .map(|(id, scheme)| (id, saturated_trace_digest(scheme, 4)))
+        .collect();
+    for (id, d) in &got {
+        println!("trace k4 {id}: {d:#018x}");
+    }
+    assert_eq!(
+        got, PINNED_TRACE,
+        "4-shard trace bytes drifted from the serial kernel's pinned digests"
+    );
+}
+
+/// Same pin on statistics: 4-shard saturated runs must hash to the serial
+/// kernel's pinned constants.
+#[test]
+fn four_shard_stats_match_serial_pins() {
+    let got: Vec<(&str, u64)> = headline()
+        .into_iter()
+        .map(|(id, scheme)| (id, saturated_stats_digest(scheme, 4)))
+        .collect();
+    for (id, d) in &got {
+        println!("stats k4 {id}: {d:#018x}");
+    }
+    assert_eq!(
+        got, PINNED_STATS,
+        "4-shard stats drifted from the serial kernel's pinned digests"
     );
 }

@@ -70,7 +70,11 @@ pub struct RouteCtx {
 ///
 /// Implementations must be deterministic functions of the context (the
 /// `sample` field carries all randomness) so simulations are reproducible.
-pub trait Routing: Send {
+///
+/// `Sync` because the sharded kernel's worker threads evaluate
+/// `candidates` concurrently through a shared `&SimCore` (the call takes
+/// `&self` and implementations hold only immutable tables).
+pub trait Routing: Send + Sync {
     /// Short human-readable name (e.g. `"adaptive"`).
     fn name(&self) -> &str;
 

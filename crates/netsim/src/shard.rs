@@ -1,0 +1,702 @@
+//! Sharded deterministic allocation kernel.
+//!
+//! With [`crate::SimConfig::shards`] `> 1` the routers of the topology are
+//! partitioned into `K` shards ([`drain_topology::partition::Partition`],
+//! balanced BFS blocks) and each cycle's allocation phase is *planned* in
+//! parallel — one worker thread per shard, all reading the same frozen
+//! `&SimCore` — then *committed* serially at the cycle barrier in a
+//! canonical order. Results are bit-identical to the serial kernel at
+//! every shard count: same `Stats`, same cycle counts, byte-identical
+//! trace streams.
+//!
+//! # Ownership
+//!
+//! * A VC buffer sits at the input port of its link's `dst` router; the
+//!   slot belongs to that router's shard.
+//! * An output link belongs to its `src` router's shard — which is
+//!   exactly the shard holding *every* possible requester of that link
+//!   (VC heads at `src`'s input ports and `src`'s injection queues), so
+//!   link arbitration never crosses a shard boundary.
+//! * Injection and ejection queues belong to their node's shard.
+//!
+//! # Determinism
+//!
+//! The serial kernel draws one RNG sample per visited ready non-ejecting
+//! VC head (ascending arena order) and one per non-empty injection-queue
+//! head (ascending queue order). To give every shard the samples the
+//! serial kernel would have used, each planner clones the cycle-start RNG
+//! and replays the *entire* global draw schedule — a cheap
+//! ready/non-ejecting predicate per occupied slot — consuming every draw
+//! while acting only on its own shard's. All clones therefore end at the
+//! same stream position (debug-asserted via `ChaCha8Rng: PartialEq`) and
+//! the merge adopts shard 0's clone as the post-cycle RNG.
+//!
+//! # The barrier merge
+//!
+//! Plans are pure data: ejection outcomes, link grants and telemetry
+//! notes. The merge replays them through the serial kernel's own commit
+//! functions in the serial kernel's own order — ejection grants ascending
+//! queue id, then link grants ascending link id — so every observable
+//! (stats, queue contents, trace event sequence) is identical by
+//! construction. A granted move whose target VC belongs to *another*
+//! shard is a cross-shard flit: its occupation is deferred through the
+//! per-(shard, shard) queues of [`ShardFabric`] and applied after all
+//! grants, in canonical `(from, to)` then dense-VC-index order. Deferral
+//! is unobservable within the cycle because each output link gets exactly
+//! one grant and every grant's target sits on its own output link.
+//!
+//! Mechanism control (drain/spin/freeze decisions), endpoint models and
+//! instrumentation all run serially *at* the cycle barrier on globally
+//! merged state — that barrier is the cross-shard coordination point for
+//! drain epochs, so `Forced` and `Freeze` cycles bypass the sharded path
+//! entirely and need no distributed protocol.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use drain_topology::{partition::Partition, LinkId, NodeId, Topology};
+
+use crate::packet::{MessageClass, PacketId};
+use crate::routing::Candidate;
+use crate::state::{LinkRequest, MoveSource, PendingOccupy, SimCore};
+
+/// Maximum shard count: the fabric's nonempty-pair index is one `u64`
+/// (`8 × 8` ordered pairs).
+pub const MAX_SHARDS: usize = 8;
+
+/// Static ownership tables for one (topology, shard count) pairing:
+/// which shard owns each router, each link-major VC slot and each
+/// output link.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    k: usize,
+    shard_of_node: Vec<u16>,
+    slot_owner: Vec<u16>,
+    link_owner: Vec<u16>,
+    cut_links: usize,
+}
+
+impl ShardMap {
+    /// Builds the ownership tables from a balanced router partition.
+    /// `vcs_per_port` is the link-major stride
+    /// ([`crate::SimConfig::total_vcs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`MAX_SHARDS`].
+    pub fn new(topo: &Topology, k: usize, vcs_per_port: usize) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&k),
+            "shard count must be in 1..={MAX_SHARDS}"
+        );
+        let part = Partition::balanced(topo, k);
+        let shard_of_node: Vec<u16> = (0..topo.num_nodes())
+            .map(|n| part.shard_of(NodeId(n as u16)))
+            .collect();
+        let m = topo.num_unidirectional_links();
+        let link_owner: Vec<u16> = (0..m)
+            .map(|li| shard_of_node[topo.link(LinkId(li as u32)).src.index()])
+            .collect();
+        let slot_owner: Vec<u16> = (0..m * vcs_per_port)
+            .map(|idx| shard_of_node[topo.link(LinkId((idx / vcs_per_port) as u32)).dst.index()])
+            .collect();
+        let cut_links = part.cut_links(topo);
+        ShardMap {
+            k,
+            shard_of_node,
+            slot_owner,
+            link_owner,
+            cut_links,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Shard owning a router.
+    pub fn shard_of_node(&self, n: NodeId) -> u16 {
+        self.shard_of_node[n.index()]
+    }
+
+    /// Shard owning the VC buffer at link-major arena index `idx`.
+    pub fn slot_owner(&self, idx: usize) -> u16 {
+        self.slot_owner[idx]
+    }
+
+    /// Shard owning an output link (its `src` router's shard).
+    pub fn link_owner(&self, l: LinkId) -> u16 {
+        self.link_owner[l.index()]
+    }
+
+    /// Unidirectional links whose endpoints live in different shards
+    /// (the flits that must cross the [`ShardFabric`]).
+    pub fn cut_links(&self) -> usize {
+        self.cut_links
+    }
+}
+
+/// Per-(shard, shard) cross-shard flit queues plus a nonempty-pair index.
+///
+/// A granted move whose resolved target VC belongs to another shard
+/// pushes `(target arena index, packet id)` into the `(from, to)` queue;
+/// at the cycle barrier [`ShardFabric::drain_in_order`] visits non-empty
+/// pairs in ascending `(from, to)` order (one `u64` of pair bits — hence
+/// [`MAX_SHARDS`]) and delivers each queue's flits sorted by dense VC
+/// index, making delivery order canonical regardless of which thread
+/// produced what.
+#[derive(Debug)]
+pub struct ShardFabric {
+    k: usize,
+    queues: Vec<Vec<(u32, u32)>>,
+    pair_bits: u64,
+}
+
+impl ShardFabric {
+    /// Creates an empty fabric for `k` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`MAX_SHARDS`].
+    pub fn new(k: usize) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&k),
+            "shard count must be in 1..={MAX_SHARDS}"
+        );
+        ShardFabric {
+            k,
+            queues: (0..k * k).map(|_| Vec::new()).collect(),
+            pair_bits: 0,
+        }
+    }
+
+    /// Enqueues one flit moving from shard `from` to shard `to`: the
+    /// packet `pid` landing in the VC at dense arena index `tidx`.
+    pub fn push(&mut self, from: u16, to: u16, tidx: u32, pid: u32) {
+        let pair = from as usize * self.k + to as usize;
+        self.queues[pair].push((tidx, pid));
+        self.pair_bits |= 1 << pair;
+    }
+
+    /// Whether any flit is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pair_bits == 0
+    }
+
+    /// Total queued flits.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Drains every queue in canonical order — ascending `(from, to)`
+    /// pair, flits within a pair sorted by dense VC index — invoking
+    /// `f(from, to, tidx, pid)` for each flit. The fabric is empty
+    /// afterwards.
+    pub fn drain_in_order(&mut self, mut f: impl FnMut(u16, u16, u32, u32)) {
+        let mut bits = self.pair_bits;
+        self.pair_bits = 0;
+        while bits != 0 {
+            let pair = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.queues[pair].sort_unstable_by_key(|&(tidx, _)| tidx);
+            let (from, to) = ((pair / self.k) as u16, (pair % self.k) as u16);
+            for &(tidx, pid) in &self.queues[pair] {
+                f(from, to, tidx, pid);
+            }
+            self.queues[pair].clear();
+        }
+    }
+}
+
+/// One shard's pure plan for a cycle: what its routers would commit.
+#[derive(Debug)]
+pub(crate) struct ShardPlan {
+    /// The census-advanced RNG clone (all shards must agree; shard 0's
+    /// becomes the post-cycle RNG).
+    rng: ChaCha8Rng,
+    /// Ejection outcomes, ascending queue id (queue ids are wholly owned
+    /// by one shard, so ids never collide across plans).
+    ejects: Vec<EjectOutcome>,
+    /// Winning link grants, ascending link id (one per owned requested
+    /// link).
+    grants: Vec<(u32, LinkRequest)>,
+    /// Phase A credit-stall telemetry notes `(router, count)` (collected
+    /// only while telemetry is active; counters are additive so the merge
+    /// may apply them in any order).
+    stalls: Vec<(u32, u64)>,
+}
+
+/// Outcome of one (node, class) ejection queue's arbitration.
+#[derive(Clone, Copy, Debug)]
+enum EjectOutcome {
+    /// The winning head ejects.
+    Grant { q: u32, idx: u32, pid: PacketId },
+    /// The queue is full; its would-be ejectors are credit-stalled.
+    Full { q: u32, router: u32, count: u64 },
+}
+
+impl EjectOutcome {
+    fn queue(&self) -> u32 {
+        match *self {
+            EjectOutcome::Grant { q, .. } | EjectOutcome::Full { q, .. } => q,
+        }
+    }
+}
+
+/// Reusable per-thread scratch for [`plan_shard`] (no steady-state
+/// allocation, mirroring the serial kernel's reuse discipline).
+#[derive(Default)]
+pub(crate) struct PlanScratch {
+    cands: Vec<Candidate>,
+    reqs: Vec<(u32, LinkRequest)>,
+    ejects: Vec<(usize, usize, PacketId)>,
+    group: Vec<LinkRequest>,
+}
+
+/// Plans one shard's allocation phase against the frozen cycle-start
+/// state: the census RNG replay (see the module docs), Phase A routing
+/// decisions for owned slots and injection heads, and local Phase B
+/// arbitration for owned ejection queues and output links.
+pub(crate) fn plan_shard(
+    core: &SimCore,
+    map: &ShardMap,
+    shard: u16,
+    scratch: &mut PlanScratch,
+) -> ShardPlan {
+    let now = core.cycle();
+    let telem_on = core.telemetry().active();
+    let mut rng = core.rng_clone();
+    scratch.reqs.clear();
+    scratch.ejects.clear();
+    let mut stalls: Vec<(u32, u64)> = Vec::new();
+
+    // Phase A census: every occupied slot in ascending arena order —
+    // the serial sweep's draw schedule. Non-owned slots still consume
+    // their draw (that is the census); owned ones also decide.
+    for wi in 0..core.occ_bits.len() {
+        let mut w = core.occ_bits[wi];
+        while w != 0 {
+            let idx = wi * 64 + w.trailing_zeros() as usize;
+            w &= w - 1;
+            if core.vc_ready_at[idx] > now {
+                continue;
+            }
+            let here = core.idx_here[idx];
+            let owned = map.slot_owner[idx] == shard;
+            if core.vc_dest[idx] == here {
+                // Ejecting heads draw nothing in the serial kernel.
+                if owned {
+                    let q = core.qidx(NodeId(here), MessageClass(core.vc_class[idx]));
+                    scratch.ejects.push((q, idx, PacketId(core.vc_occ[idx])));
+                }
+                continue;
+            }
+            let sample = rng.gen::<u64>();
+            if !owned {
+                continue;
+            }
+            let link = LinkId(core.idx_link[idx]);
+            let vc = core.idx_vc[idx];
+            match core.phase_a_route(idx, link, vc, sample, &mut scratch.cands) {
+                Some((out_link, target, blocked_for)) => scratch.reqs.push((
+                    out_link.0,
+                    LinkRequest {
+                        source: MoveSource::Vc(idx),
+                        pid: PacketId(core.vc_occ[idx]),
+                        target,
+                        blocked_for,
+                    },
+                )),
+                None => {
+                    if telem_on {
+                        stalls.push((u32::from(here), 1));
+                    }
+                }
+            }
+        }
+    }
+
+    // Injection census: every non-empty queue head in ascending
+    // (node, class) order, exactly the serial sweep (including its
+    // whole-phase `nonempty_inj` gate).
+    if core.nonempty_inj > 0 {
+        let classes = core.config().num_classes;
+        for q in 0..core.inj.len() {
+            let Some(&pid) = core.inj[q].front() else {
+                continue;
+            };
+            let sample = rng.gen::<u64>();
+            let node = NodeId((q / classes) as u16);
+            if map.shard_of_node[node.index()] != shard {
+                continue;
+            }
+            let class = MessageClass((q % classes) as u8);
+            if let Some((out_link, target)) =
+                core.injection_route(node, class, sample, &mut scratch.cands)
+            {
+                scratch.reqs.push((
+                    out_link.0,
+                    LinkRequest {
+                        source: MoveSource::Injection { node, class },
+                        pid,
+                        target,
+                        blocked_for: 0,
+                    },
+                ));
+            }
+        }
+    }
+
+    // Local Phase B, ejection: all contenders for an owned queue are
+    // owned slots, so arbitration is complete here.
+    scratch.ejects.sort_unstable_by_key(|&(q, idx, _)| (q, idx));
+    let classes = core.config().num_classes;
+    let mut ejects: Vec<EjectOutcome> = Vec::new();
+    let mut gi = 0;
+    while gi < scratch.ejects.len() {
+        let q = scratch.ejects[gi].0;
+        let mut ge = gi;
+        while ge < scratch.ejects.len() && scratch.ejects[ge].0 == q {
+            ge += 1;
+        }
+        let group = &scratch.ejects[gi..ge];
+        let node = NodeId((q / classes) as u16);
+        let class = MessageClass((q % classes) as u8);
+        if core.ejection_has_space(node, class) {
+            let (_, idx, pid) = group[core.eject_winner(q, group)];
+            ejects.push(EjectOutcome::Grant {
+                q: q as u32,
+                idx: idx as u32,
+                pid,
+            });
+        } else if telem_on {
+            ejects.push(EjectOutcome::Full {
+                q: q as u32,
+                router: (q / classes) as u32,
+                count: group.len() as u64,
+            });
+        }
+        gi = ge;
+    }
+
+    // Local Phase B, links: every requester of an owned link is owned,
+    // and the census visited them in the serial sweep's order, so a
+    // stable sort by link id reproduces the serial request lists — and
+    // therefore the serial winner — exactly.
+    scratch.reqs.sort_by_key(|&(li, _)| li);
+    let mut grants: Vec<(u32, LinkRequest)> = Vec::new();
+    let mut gi = 0;
+    while gi < scratch.reqs.len() {
+        let li = scratch.reqs[gi].0;
+        debug_assert_eq!(map.link_owner[li as usize], shard, "foreign link request");
+        scratch.group.clear();
+        while gi < scratch.reqs.len() && scratch.reqs[gi].0 == li {
+            scratch.group.push(scratch.reqs[gi].1);
+            gi += 1;
+        }
+        let win = core.link_winner(li as usize, &scratch.group);
+        grants.push((li, scratch.group[win]));
+    }
+
+    ShardPlan {
+        rng,
+        ejects,
+        grants,
+        stalls,
+    }
+}
+
+/// Commits the shards' plans against the core in canonical serial order
+/// (see the module docs); cross-shard occupations ride `fabric`.
+fn apply_plans(
+    core: &mut SimCore,
+    map: &ShardMap,
+    plans: Vec<ShardPlan>,
+    fabric: &mut ShardFabric,
+) {
+    let mut rng: Option<ChaCha8Rng> = None;
+    let mut ejects: Vec<EjectOutcome> = Vec::new();
+    let mut grants: Vec<(u32, LinkRequest)> = Vec::new();
+    let mut stalls: Vec<(u32, u64)> = Vec::new();
+    for p in plans {
+        match &rng {
+            // Every clone must have replayed the identical global draw
+            // schedule — the determinism contract's keystone.
+            Some(r) => debug_assert!(*r == p.rng, "shard census RNG streams diverged"),
+            None => rng = Some(p.rng),
+        }
+        ejects.extend(p.ejects);
+        grants.extend(p.grants);
+        stalls.extend(p.stalls);
+    }
+    core.set_rng(rng.expect("at least one shard plan"));
+
+    // Ejection outcomes ascending queue id (ids are unique across plans).
+    ejects.sort_unstable_by_key(EjectOutcome::queue);
+    for e in ejects {
+        match e {
+            EjectOutcome::Grant { idx, pid, .. } => core.commit_eject(idx as usize, pid),
+            EjectOutcome::Full { router, count, .. } => {
+                core.note_credit_stalls(router as usize, count);
+            }
+        }
+    }
+
+    // Link grants ascending link id (one grant per link, ids unique).
+    grants.sort_unstable_by_key(|&(li, _)| li);
+    for (li, req) in &grants {
+        let from = map.link_owner[*li as usize];
+        let pending =
+            core.commit_move_deferring(req, LinkId(*li), |tidx| map.slot_owner[tidx] != from);
+        if let Some(p) = pending {
+            fabric.push(from, map.slot_owner[p.tidx as usize], p.tidx, p.pid.0);
+        }
+    }
+
+    // Cross-shard deliveries in canonical (from, to, dense index) order.
+    fabric.drain_in_order(|_, _, tidx, pid| {
+        core.apply_remote_occupy(PendingOccupy {
+            tidx,
+            pid: PacketId(pid),
+        });
+    });
+
+    // Phase A credit-stall notes (additive counters; order immaterial).
+    for (router, n) in stalls {
+        core.note_credit_stalls(router as usize, n);
+    }
+}
+
+/// The sharded kernel's per-`Sim` runtime: ownership tables, the
+/// cross-shard fabric and the persistent worker pool.
+pub(crate) struct ShardRuntime {
+    map: ShardMap,
+    fabric: ShardFabric,
+    pool: pool::Pool,
+    scratch0: PlanScratch,
+}
+
+impl ShardRuntime {
+    /// Builds the runtime for the core's configured shard count (spawns
+    /// `shards - 1` worker threads; shard 0 is planned on the caller's
+    /// thread).
+    pub(crate) fn new(core: &SimCore) -> Self {
+        let k = core.config().shards;
+        let map = ShardMap::new(core.topology(), k, core.config().total_vcs());
+        ShardRuntime {
+            map,
+            fabric: ShardFabric::new(k),
+            pool: pool::Pool::new(k),
+            scratch0: PlanScratch::default(),
+        }
+    }
+
+    /// Runs one sharded allocation cycle: parallel planning, then the
+    /// canonical serial merge. Bit-identical to
+    /// `SimCore::allocate_and_move`.
+    pub(crate) fn allocate(&mut self, core: &mut SimCore) {
+        let plans = self.pool.plan_cycle(core, &self.map, &mut self.scratch0);
+        apply_plans(core, &self.map, plans, &mut self.fabric);
+        debug_assert!(self.fabric.is_empty(), "fabric drained at the barrier");
+    }
+}
+
+/// The persistent worker pool. This is the only place in the crate that
+/// needs `unsafe`: lifetime-erased pointers hand the frozen cycle state
+/// to long-lived worker threads (a scoped-thread-per-cycle design costs
+/// more than a whole serial cycle in spawn overhead).
+#[allow(unsafe_code)]
+mod pool {
+    use super::{plan_shard, PlanScratch, ShardMap, ShardPlan};
+    use crate::state::SimCore;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::thread::JoinHandle;
+
+    // The whole design rests on planning being a read-only, data-race-free
+    // view of the core; make the compiler re-check that claim.
+    const _: () = {
+        const fn assert_sync<T: Sync>() {}
+        assert_sync::<SimCore>();
+        assert_sync::<ShardMap>();
+    };
+
+    /// One planning epoch's inputs, lifetime-erased.
+    ///
+    /// SAFETY invariant: the pointees outlive the epoch —
+    /// [`Pool::plan_cycle`] does not return until every worker has
+    /// deposited its plan, and workers never touch a `Job` outside the
+    /// epoch that published it. Workers form only shared references
+    /// (`SimCore: Sync`, asserted above).
+    #[derive(Clone, Copy)]
+    struct Job {
+        core: *const SimCore,
+        map: *const ShardMap,
+    }
+
+    // SAFETY: see `Job` — the pointers are used strictly as shared
+    // borrows bracketed by the dispatching call.
+    unsafe impl Send for Job {}
+
+    struct State {
+        epoch: u64,
+        job: Option<Job>,
+        plans: Vec<Option<ShardPlan>>,
+        done_count: usize,
+        shutdown: bool,
+    }
+
+    struct Shared {
+        state: Mutex<State>,
+        work: Condvar,
+        done: Condvar,
+    }
+
+    pub(super) struct Pool {
+        shared: Arc<Shared>,
+        handles: Vec<JoinHandle<()>>,
+    }
+
+    impl Pool {
+        /// Spawns `k - 1` workers, for shards `1..k`.
+        pub(super) fn new(k: usize) -> Pool {
+            let shared = Arc::new(Shared {
+                state: Mutex::new(State {
+                    epoch: 0,
+                    job: None,
+                    plans: (1..k).map(|_| None).collect(),
+                    done_count: 0,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            });
+            let handles = (1..k)
+                .map(|s| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("drain-shard-{s}"))
+                        .spawn(move || worker(&shared, s as u16))
+                        .expect("spawn shard worker")
+                })
+                .collect();
+            Pool { shared, handles }
+        }
+
+        /// Runs one planning epoch: workers plan shards `1..k` while this
+        /// thread plans shard 0; returns all plans ordered by shard id.
+        pub(super) fn plan_cycle(
+            &self,
+            core: &SimCore,
+            map: &ShardMap,
+            scratch0: &mut PlanScratch,
+        ) -> Vec<ShardPlan> {
+            {
+                let mut st = self.shared.state.lock().expect("pool lock");
+                st.job = Some(Job { core, map });
+                st.epoch += 1;
+                st.done_count = 0;
+                self.shared.work.notify_all();
+            }
+            let plan0 = plan_shard(core, map, 0, scratch0);
+            let mut st = self.shared.state.lock().expect("pool lock");
+            while st.done_count < st.plans.len() {
+                st = self.shared.done.wait(st).expect("pool lock");
+            }
+            st.job = None;
+            let mut plans = Vec::with_capacity(st.plans.len() + 1);
+            plans.push(plan0);
+            plans.extend(st.plans.iter_mut().map(|p| p.take().expect("worker plan")));
+            plans
+        }
+    }
+
+    impl Drop for Pool {
+        fn drop(&mut self) {
+            {
+                let mut st = self.shared.state.lock().expect("pool lock");
+                st.shutdown = true;
+                self.shared.work.notify_all();
+            }
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn worker(shared: &Shared, shard: u16) {
+        let mut scratch = PlanScratch::default();
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().expect("pool lock");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch > seen {
+                        seen = st.epoch;
+                        break st.job.expect("job published with epoch");
+                    }
+                    st = shared.work.wait(st).expect("pool lock");
+                }
+            };
+            // SAFETY: `plan_cycle` keeps the pointees alive and unmutated
+            // until this worker deposits its plan below (the `Job`
+            // invariant); only shared references are formed.
+            let (core, map) = unsafe { (&*job.core, &*job.map) };
+            let plan = plan_shard(core, map, shard, &mut scratch);
+            let mut st = shared.state.lock().expect("pool lock");
+            st.plans[shard as usize - 1] = Some(plan);
+            st.done_count += 1;
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drain_topology::Topology;
+
+    #[test]
+    fn map_assigns_every_slot_and_link() {
+        let topo = Topology::mesh(4, 4);
+        let map = ShardMap::new(&topo, 4, 6);
+        let m = topo.num_unidirectional_links();
+        for li in 0..m {
+            let l = LinkId(li as u32);
+            assert_eq!(map.link_owner(l), map.shard_of_node(topo.link(l).src));
+            for s in 0..6 {
+                assert_eq!(
+                    map.slot_owner(li * 6 + s),
+                    map.shard_of_node(topo.link(l).dst)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_orders_pairs_and_indices() {
+        let mut fab = ShardFabric::new(4);
+        fab.push(3, 0, 7, 100);
+        fab.push(0, 2, 9, 101);
+        fab.push(0, 2, 4, 102);
+        fab.push(1, 3, 1, 103);
+        assert_eq!(fab.len(), 4);
+        let mut seen = Vec::new();
+        fab.drain_in_order(|from, to, tidx, pid| seen.push((from, to, tidx, pid)));
+        assert_eq!(
+            seen,
+            vec![(0, 2, 4, 102), (0, 2, 9, 101), (1, 3, 1, 103), (3, 0, 7, 100)]
+        );
+        assert!(fab.is_empty());
+        assert_eq!(fab.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn fabric_rejects_too_many_shards() {
+        ShardFabric::new(9);
+    }
+}

@@ -9,6 +9,7 @@ use std::path::{Path, PathBuf};
 use crate::check::{self, Violation};
 use crate::deadlock;
 use crate::mechanism::{ControlAction, Mechanism};
+use crate::shard::ShardRuntime;
 use crate::state::SimCore;
 use crate::stats::Stats;
 use crate::trace::{self, TraceEvent, TraceSink};
@@ -50,6 +51,10 @@ pub struct Sim {
     ff_cycles_skipped: u64,
     /// Number of fast-forward jumps taken.
     ff_jumps: u64,
+    /// Sharded-kernel runtime (worker pool + ownership tables), built
+    /// lazily on the first sharded allocation cycle so serial runs pay
+    /// nothing (see [`crate::shard`]).
+    shard_rt: Option<ShardRuntime>,
 }
 
 // Compile-time audit of the `Send` guarantee documented above: building a
@@ -83,7 +88,24 @@ impl Sim {
             flight_record: None,
             ff_cycles_skipped: 0,
             ff_jumps: 0,
+            shard_rt: None,
         }
+    }
+
+    /// Reconfigures the shard count of an assembled simulation (see
+    /// [`SimConfig::shards`]) and pins
+    /// [`SimConfig::shard_min_active`] to 0 so the sharded path runs at
+    /// any occupancy. Results are bit-identical at every shard count —
+    /// the differential suite in the bench crate holds this to the byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or exceeds [`crate::shard::MAX_SHARDS`].
+    pub fn set_shards(&mut self, shards: usize) {
+        self.core.set_shards(shards);
+        // Drop any existing runtime: the pool and ownership tables are
+        // per shard count.
+        self.shard_rt = None;
     }
 
     /// Makes [`Sim::run`] return early once a deadlock is observed.
@@ -184,7 +206,7 @@ impl Sim {
         }
         self.endpoints.pre_cycle(&mut self.core);
         match self.mechanism.control(&mut self.core) {
-            ControlAction::Normal => self.core.allocate_and_move(),
+            ControlAction::Normal => self.allocate(),
             ControlAction::Freeze => {}
             ControlAction::Forced(moves, kind) => {
                 if self.core.config().checks.forced_moves {
@@ -205,6 +227,25 @@ impl Sim {
             }
         }
         self.core.advance_cycle();
+    }
+
+    /// Dispatches a `Normal` cycle's allocation to the serial or the
+    /// sharded kernel. The hybrid gate is a pure speed knob — both paths
+    /// are bit-identical — so below `shard_min_active` occupied VCs the
+    /// serial allocator runs (parallel planning cannot amortize its
+    /// barrier over a handful of packets).
+    fn allocate(&mut self) {
+        let cfg = self.core.config();
+        let sharded =
+            cfg.shards > 1 && self.core.packets_in_network() >= cfg.shard_min_active;
+        if sharded {
+            let rt = self
+                .shard_rt
+                .get_or_insert_with(|| ShardRuntime::new(&self.core));
+            rt.allocate(&mut self.core);
+        } else {
+            self.core.allocate_and_move();
+        }
     }
 
     fn fail(&mut self, v: Violation) {

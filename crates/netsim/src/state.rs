@@ -88,17 +88,37 @@ pub struct Delivered {
     pub id: PacketId,
 }
 
-enum MoveSource {
+/// Where a granted link request moves its packet *from*. `pub(crate)` so
+/// shard workers (see [`crate::shard`]) can stage requests identical to
+/// the serial sweep's.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum MoveSource {
+    /// A VC buffer, by link-major arena index.
     Vc(usize),
+    /// The head of a per-(node, class) injection queue.
     Injection { node: NodeId, class: MessageClass },
 }
 
-struct LinkRequest {
-    source: MoveSource,
-    pid: PacketId,
-    target: TargetVc,
+/// One pending request for an output link.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LinkRequest {
+    pub(crate) source: MoveSource,
+    pub(crate) pid: PacketId,
+    pub(crate) target: TargetVc,
     /// How long the requester has been waiting (age-based arbitration).
-    blocked_for: u64,
+    pub(crate) blocked_for: u64,
+}
+
+/// A granted move whose target-VC occupation was deferred because the
+/// target slot belongs to another shard: the flit crosses the shard
+/// boundary through the [`crate::shard::ShardFabric`] queues and is
+/// applied by [`SimCore::apply_remote_occupy`] at the cycle barrier.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingOccupy {
+    /// Link-major arena index of the resolved target VC.
+    pub(crate) tidx: u32,
+    /// The moving packet.
+    pub(crate) pid: PacketId,
 }
 
 /// The simulator state plus allocation engine.
@@ -109,18 +129,19 @@ pub struct SimCore {
     dmap: DistanceMap,
     /// VC arena, link-major: index `link * total_vcs + vn * vcs_per_vn +
     /// vc` into each of the struct-of-arrays buffers below. Occupant id,
-    /// or [`EMPTY`].
-    vc_occ: Vec<u32>,
+    /// or [`EMPTY`]. (`pub(crate)` fields below are read-shared with the
+    /// shard workers of [`crate::shard`] during the planning phase.)
+    pub(crate) vc_occ: Vec<u32>,
     /// Cycle from which the occupant may be allocated onward.
-    vc_ready_at: Vec<u64>,
+    pub(crate) vc_ready_at: Vec<u64>,
     /// Cycle from which an empty buffer may accept a new packet.
     vc_free_at: Vec<u64>,
     /// Cycle the current occupant arrived.
     vc_entered_at: Vec<u64>,
     /// Hot mirror of the occupant's destination (valid while occupied).
-    vc_dest: Vec<u16>,
+    pub(crate) vc_dest: Vec<u16>,
     /// Hot mirror of the occupant's message class (valid while occupied).
-    vc_class: Vec<u8>,
+    pub(crate) vc_class: Vec<u8>,
     /// Hot mirror of the occupant's length in flits (valid while occupied).
     vc_len: Vec<u32>,
     /// Per unidirectional link: number of occupied VCs at its input port
@@ -128,11 +149,11 @@ pub struct SimCore {
     link_occ: Vec<u32>,
     /// Occupancy bitmap over link-major VC indices: bit `i % 64` of word
     /// `i / 64` is set iff index `i` is occupied.
-    occ_bits: Vec<u64>,
+    pub(crate) occ_bits: Vec<u64>,
     /// Per unidirectional link: busy (serializing) until this cycle.
     link_busy: Vec<u64>,
     /// Per (node, class) injection queues.
-    inj: Vec<VecDeque<PacketId>>,
+    pub(crate) inj: Vec<VecDeque<PacketId>>,
     /// Per (node, class) ejection queues.
     ej: Vec<VecDeque<PacketId>>,
     /// Live packets.
@@ -148,14 +169,14 @@ pub struct SimCore {
     /// `idx` inside `active`, or `u32::MAX` when the VC is empty.
     active_pos: Vec<u32>,
     /// Cached `config.total_vcs()` (the link-major stride).
-    stride: usize,
+    pub(crate) stride: usize,
     /// Number of non-empty injection queues (skips the Phase A injection
     /// sweep and gates fast-forward).
-    nonempty_inj: usize,
+    pub(crate) nonempty_inj: usize,
     /// Hot mirror of each injection queue head's destination (valid while
     /// the queue is non-empty) — the Phase A injection sweep reads this
     /// instead of dereferencing the packet slab.
-    inj_head_dest: Vec<u16>,
+    pub(crate) inj_head_dest: Vec<u16>,
     /// Packets parked in ejection queues (counter form of
     /// [`SimCore::ejection_backlog`]).
     ej_backlog: usize,
@@ -166,9 +187,14 @@ pub struct SimCore {
     ej_bits: Vec<u64>,
     /// Decode table: owning link of each link-major VC index (avoids a
     /// runtime division in the Phase A sweep).
-    idx_link: Vec<u32>,
+    pub(crate) idx_link: Vec<u32>,
     /// Decode table: VC-within-VN of each link-major VC index.
-    idx_vc: Vec<u8>,
+    pub(crate) idx_vc: Vec<u8>,
+    /// Decode table: router at which each link-major VC index sits (the
+    /// dst node of its link). Built for the shard planners' census sweep;
+    /// the serial hot path keeps decoding through `idx_link` + the
+    /// topology.
+    pub(crate) idx_here: Vec<u16>,
     /// Scratch buffers reused across cycles.
     cand_buf: Vec<Candidate>,
     req_buf: Vec<Vec<LinkRequest>>,
@@ -233,6 +259,9 @@ impl SimCore {
             idx_vc: (0..slots)
                 .map(|i| ((i % total_vcs) % config.vcs_per_vn) as u8)
                 .collect(),
+            idx_here: (0..slots)
+                .map(|i| topo.link(LinkId((i / total_vcs) as u32)).dst.0)
+                .collect(),
             cand_buf: Vec::new(),
             req_buf: (0..m).map(|_| Vec::new()).collect(),
             req_bits: vec![0; m.div_ceil(64)],
@@ -267,6 +296,20 @@ impl SimCore {
     /// [`SimConfig::fast_forward`]).
     pub fn set_fast_forward(&mut self, enabled: bool) {
         self.config.fast_forward = enabled;
+    }
+
+    /// Reconfigures the shard count mid-assembly and forces the sharded
+    /// path at any occupancy (`shard_min_active = 0`) so differential
+    /// tests exercise it even on lightly loaded networks. Results are
+    /// bit-identical at every shard count; tests exist to prove it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or exceeds [`crate::shard::MAX_SHARDS`].
+    pub(crate) fn set_shards(&mut self, shards: usize) {
+        self.config.shards = shards;
+        self.config.shard_min_active = 0;
+        self.config.validate();
     }
 
     /// The routing function's name.
@@ -329,8 +372,15 @@ impl SimCore {
         &mut self.telem
     }
 
+    /// Credits `n` credit-stall observations to `router` (the shard merge
+    /// applies the workers' Phase A stall notes through this; counters
+    /// are additive so apply order is immaterial).
+    pub(crate) fn note_credit_stalls(&mut self, router: usize, n: u64) {
+        self.telem.note_credit_stalls(router, n);
+    }
+
     #[inline]
-    fn vc_index(&self, r: VcRef) -> usize {
+    pub(crate) fn vc_index(&self, r: VcRef) -> usize {
         r.link.index() * self.stride + r.vn as usize * self.config.vcs_per_vn + r.vc as usize
     }
 
@@ -550,8 +600,23 @@ impl SimCore {
     }
 
     #[inline]
-    fn qidx(&self, node: NodeId, class: MessageClass) -> usize {
+    pub(crate) fn qidx(&self, node: NodeId, class: MessageClass) -> usize {
         node.index() * self.config.num_classes + class.index()
+    }
+
+    /// Snapshot of the RNG at its current stream position. Shard planners
+    /// clone the cycle-start RNG, replay the full global draw schedule
+    /// (consuming every draw, using only their own shard's), and the
+    /// merge asserts all clones ended at the same position (see
+    /// [`crate::shard`]).
+    pub(crate) fn rng_clone(&self) -> ChaCha8Rng {
+        self.rng.clone()
+    }
+
+    /// Replaces the RNG with `rng` — the merge step adopts shard 0's
+    /// advanced clone so the stream position matches the serial kernel's.
+    pub(crate) fn set_rng(&mut self, rng: ChaCha8Rng) {
+        self.rng = rng;
     }
 
     /// Free slots in a node's per-class injection queue.
@@ -824,6 +889,12 @@ impl SimCore {
     ///
     /// An empty network returns `Some(u64::MAX)`; mechanism and endpoint
     /// horizons bound the actual jump (see [`crate::sim::Sim::run`]).
+    ///
+    /// Sharding note: because every shard's plan is merged into this one
+    /// global state at the cycle barrier before the driver asks, the
+    /// minimum below already *is* the minimum idle horizon across all
+    /// shards — no per-shard computation is needed, and fast-forward
+    /// composes with the sharded kernel unchanged.
     pub(crate) fn net_idle_until(&self) -> Option<u64> {
         if !self.config.fast_forward
             || self.tracer.enabled()
@@ -883,8 +954,6 @@ impl SimCore {
     /// Normal allocation: gathers requests, arbitrates one grant per output
     /// link and one ejection per (node, class), and commits the moves.
     pub(crate) fn allocate_and_move(&mut self) {
-        let now = self.cycle;
-
         // Phase A: VC requests, visiting occupied buffers in ascending
         // link-major index order — the exact order of the former dense
         // `link, vn, vc` loop nest, so RNG draws and trace events land on
@@ -909,43 +978,33 @@ impl SimCore {
             }
         }
         // Phase A: injection requests (head of each per-class queue);
-        // skipped wholesale when every queue is empty.
+        // skipped wholesale when every queue is empty. Ascending queue
+        // index IS ascending (node, class) order.
         if self.nonempty_inj > 0 {
-            let num_nodes = self.topo.num_nodes();
-            for ni in 0..num_nodes {
-                let node = NodeId(ni as u16);
-                for class in 0..self.config.num_classes {
-                    let class = MessageClass(class as u8);
-                    let q = self.qidx(node, class);
-                    let Some(&pid) = self.inj[q].front() else {
-                        continue;
-                    };
-                    // The head's destination comes from the hot mirror, not
-                    // the slab: under backpressure every queue is non-empty
-                    // and the slab spans megabytes.
-                    let dest = NodeId(self.inj_head_dest[q]);
-                    debug_assert_eq!(dest, self.packets.get(pid).dest, "stale head mirror");
-                    let sample = self.rng.gen::<u64>();
-                    // Source-queue waiting is ordinary queueing, not deadlock
-                    // pressure: a waiting injection holds no network resource,
-                    // so it neither deflects nor claims the escape VC (it can
-                    // always keep waiting for a non-escape buffer).
-                    let ctx = RouteCtx {
-                        cur: node,
-                        dest,
-                        arrived_via: None,
-                        in_escape: false,
-                        blocked_for: 0,
-                        sample,
-                    };
-                    let vn = self.config.vn_of_class(class) as u8;
-                    let allow_escape = self.escape_always_allowed();
-                    self.push_first_feasible(
-                        ctx,
-                        vn,
-                        MoveSource::Injection { node, class },
-                        pid,
-                        allow_escape,
+            for q in 0..self.inj.len() {
+                let Some(&pid) = self.inj[q].front() else {
+                    continue;
+                };
+                let node = NodeId((q / self.config.num_classes) as u16);
+                let class = MessageClass((q % self.config.num_classes) as u8);
+                debug_assert_eq!(
+                    NodeId(self.inj_head_dest[q]),
+                    self.packets.get(pid).dest,
+                    "stale head mirror"
+                );
+                let sample = self.rng.gen::<u64>();
+                let mut cands = std::mem::take(&mut self.cand_buf);
+                let routed = self.injection_route(node, class, sample, &mut cands);
+                self.cand_buf = cands;
+                if let Some((link, target)) = routed {
+                    self.register_request(
+                        link,
+                        LinkRequest {
+                            source: MoveSource::Injection { node, class },
+                            pid,
+                            target,
+                            blocked_for: 0,
+                        },
                     );
                 }
             }
@@ -971,16 +1030,7 @@ impl SimCore {
                         .note_credit_stalls(q / self.config.num_classes, group.len() as u64);
                 }
             } else {
-                let rot = (now as usize + q) % group.len();
-                let win = (0..group.len())
-                    .max_by_key(|&i| {
-                        let idx = group[i].1;
-                        let blocked =
-                            now.saturating_sub(self.vc_entered_at[idx].max(self.vc_ready_at[idx]));
-                        (blocked, usize::from(i == rot))
-                    })
-                    .expect("non-empty group");
-                let (_, idx, pid) = group[win];
+                let (_, idx, pid) = group[self.eject_winner(q, group)];
                 self.commit_eject(idx, pid);
             }
             gi = ge;
@@ -1000,12 +1050,8 @@ impl SimCore {
                 let li = wi * 64 + w.trailing_zeros() as usize;
                 w &= w - 1;
                 let reqs = std::mem::take(&mut self.req_buf[li]);
-                let rot = (now as usize + li) % reqs.len();
-                let win = (0..reqs.len())
-                    .max_by_key(|&i| (reqs[i].blocked_for, usize::from(i == rot)))
-                    .expect("non-empty request list");
-                let req = &reqs[win];
-                self.commit_move(req, LinkId(li as u32));
+                let req = reqs[self.link_winner(li, &reqs)];
+                self.commit_move(&req, LinkId(li as u32));
                 let mut reqs = reqs;
                 reqs.clear();
                 self.req_buf[li] = reqs;
@@ -1027,21 +1073,65 @@ impl SimCore {
     ) {
         let now = self.cycle;
         let pid = PacketId(self.vc_occ[idx]);
-        let ready_at = self.vc_ready_at[idx];
-        if ready_at > now {
+        if self.vc_ready_at[idx] > now {
             return;
         }
-        let dest = NodeId(self.vc_dest[idx]);
-        let class = MessageClass(self.vc_class[idx]);
-        debug_assert_eq!(dest, self.packets.get(pid).dest, "stale dest mirror");
         let here = self.topo.link(link).dst;
-        if dest == here {
+        if NodeId(self.vc_dest[idx]) == here {
+            let class = MessageClass(self.vc_class[idx]);
             eject_reqs.push((self.qidx(here, class), idx, pid));
             return;
         }
         let sample = self.rng.gen::<u64>();
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        let routed = self.phase_a_route(idx, link, vc, sample, &mut cands);
+        self.cand_buf = cands;
+        match routed {
+            Some((out_link, target, blocked_for)) => self.register_request(
+                out_link,
+                LinkRequest {
+                    source: MoveSource::Vc(idx),
+                    pid,
+                    target,
+                    blocked_for,
+                },
+            ),
+            // A resident packet that cannot even request a move is
+            // credit-stalled at its current router.
+            None => {
+                if self.telem.active() {
+                    self.telem.note_credit_stalls(here.index(), 1);
+                }
+            }
+        }
+    }
+
+    /// Pure Phase A routing decision for the ready, non-ejecting head at
+    /// arena index `idx`, given its tie-break `sample`: which output link
+    /// it requests, with what target-VC kind and age — or `None` when
+    /// every feasible next hop lacks buffer or link credit this cycle.
+    ///
+    /// Takes `&self` so both the serial sweep and the shard planners (see
+    /// [`crate::shard`]) make *the same call*: sharded decisions cannot
+    /// drift from serial ones.
+    pub(crate) fn phase_a_route(
+        &self,
+        idx: usize,
+        link: LinkId,
+        vc: u8,
+        sample: u64,
+        cands: &mut Vec<Candidate>,
+    ) -> Option<(LinkId, TargetVc, u64)> {
+        let now = self.cycle;
+        let dest = NodeId(self.vc_dest[idx]);
+        debug_assert_eq!(
+            dest,
+            self.packets.get(PacketId(self.vc_occ[idx])).dest,
+            "stale dest mirror"
+        );
+        let here = self.topo.link(link).dst;
         let in_escape = self.config.escape_sticky && vc == 0;
-        let blocked_for = now.saturating_sub(self.vc_entered_at[idx].max(ready_at));
+        let blocked_for = now.saturating_sub(self.vc_entered_at[idx].max(self.vc_ready_at[idx]));
         let ctx = RouteCtx {
             cur: here,
             dest,
@@ -1050,6 +1140,7 @@ impl SimCore {
             blocked_for,
             sample,
         };
+        let class = MessageClass(self.vc_class[idx]);
         let vn = self.config.vn_of_class(class) as u8;
         debug_assert_eq!(
             vn,
@@ -1062,12 +1153,40 @@ impl SimCore {
         let allow_escape = in_escape
             || self.escape_always_allowed()
             || blocked_for >= self.config.escape_entry_patience;
-        let registered = self.push_first_feasible(ctx, vn, MoveSource::Vc(idx), pid, allow_escape);
-        // A resident packet that cannot even request a move is
-        // credit-stalled at its current router.
-        if !registered && self.telem.active() {
-            self.telem.note_credit_stalls(here.index(), 1);
-        }
+        self.choose_feasible(&ctx, vn, allow_escape, cands)
+            .map(|(l, t)| (l, t, blocked_for))
+    }
+
+    /// Pure Phase A routing decision for the head of the `(node, class)`
+    /// injection queue, given its tie-break `sample`. Shared between the
+    /// serial sweep and the shard planners, like
+    /// [`SimCore::phase_a_route`].
+    ///
+    /// Source-queue waiting is ordinary queueing, not deadlock pressure:
+    /// a waiting injection holds no network resource, so it neither
+    /// deflects nor claims the escape VC (it can always keep waiting for
+    /// a non-escape buffer). The head's destination comes from the hot
+    /// mirror, not the slab: under backpressure every queue is non-empty
+    /// and the slab spans megabytes.
+    pub(crate) fn injection_route(
+        &self,
+        node: NodeId,
+        class: MessageClass,
+        sample: u64,
+        cands: &mut Vec<Candidate>,
+    ) -> Option<(LinkId, TargetVc)> {
+        let q = self.qidx(node, class);
+        let ctx = RouteCtx {
+            cur: node,
+            dest: NodeId(self.inj_head_dest[q]),
+            arrived_via: None,
+            in_escape: false,
+            blocked_for: 0,
+            sample,
+        };
+        let vn = self.config.vn_of_class(class) as u8;
+        let allow_escape = self.escape_always_allowed();
+        self.choose_feasible(&ctx, vn, allow_escape, cands)
     }
 
     /// Whether escape-VC entry needs no patience: non-sticky configs have
@@ -1079,24 +1198,19 @@ impl SimCore {
             || self.config.escape_entry_patience == 0
     }
 
-    /// Finds the first candidate with a free link and free target VC and
-    /// registers a request on that link. `allow_escape` gates fallback
-    /// into escape VCs (entry patience). Returns whether a request was
-    /// registered (`false` = every feasible next hop lacked buffer or
-    /// link credit this cycle).
-    fn push_first_feasible(
-        &mut self,
-        ctx: RouteCtx,
+    /// Finds the first routing candidate with a free link and a free
+    /// target VC. `allow_escape` gates fallback into escape VCs (entry
+    /// patience). `cands` is caller-provided scratch (cleared here).
+    fn choose_feasible(
+        &self,
+        ctx: &RouteCtx,
         vn: u8,
-        source: MoveSource,
-        pid: PacketId,
         allow_escape: bool,
-    ) -> bool {
-        self.cand_buf.clear();
-        let mut cands = std::mem::take(&mut self.cand_buf);
-        self.routing.candidates(&ctx, &mut cands);
-        let mut chosen: Option<(LinkId, TargetVc)> = None;
-        for cand in &cands {
+        cands: &mut Vec<Candidate>,
+    ) -> Option<(LinkId, TargetVc)> {
+        cands.clear();
+        self.routing.candidates(ctx, cands);
+        for cand in cands.iter() {
             let target = match (cand.target, allow_escape) {
                 (TargetVc::Any, false) => TargetVc::NonEscapeOnly,
                 (TargetVc::EscapeOnly, false) => continue,
@@ -1110,28 +1224,51 @@ impl SimCore {
                 target,
             };
             if self.resolve_target_vc(downgraded, vn).is_some() {
-                chosen = Some((cand.link, target));
-                break;
+                return Some((cand.link, target));
             }
         }
-        self.cand_buf = cands;
-        if let Some((link, target)) = chosen {
-            let li = link.index();
-            self.req_bits[li / 64] |= 1u64 << (li % 64);
-            self.req_buf[li].push(LinkRequest {
-                source,
-                pid,
-                target,
-                blocked_for: ctx.blocked_for,
-            });
-            true
-        } else {
-            false
-        }
+        None
+    }
+
+    /// Registers a pending request on `link` for this cycle's Phase B
+    /// arbitration.
+    pub(crate) fn register_request(&mut self, link: LinkId, req: LinkRequest) {
+        let li = link.index();
+        self.req_bits[li / 64] |= 1u64 << (li % 64);
+        self.req_buf[li].push(req);
+    }
+
+    /// Oldest-first ejection arbitration for the non-empty request
+    /// `group` of ejection queue `q` (each entry `(q, arena idx, pid)`):
+    /// index of the winning entry. Rotation breaks ties. `&self` so shard
+    /// planners pick the identical winner (see [`crate::shard`]).
+    pub(crate) fn eject_winner(&self, q: usize, group: &[(usize, usize, PacketId)]) -> usize {
+        let now = self.cycle;
+        let rot = (now as usize + q) % group.len();
+        (0..group.len())
+            .max_by_key(|&i| {
+                let idx = group[i].1;
+                let blocked =
+                    now.saturating_sub(self.vc_entered_at[idx].max(self.vc_ready_at[idx]));
+                (blocked, usize::from(i == rot))
+            })
+            .expect("non-empty group")
+    }
+
+    /// Oldest-first link arbitration for the non-empty request list of
+    /// output link `li`: index of the winning request. Rotation breaks
+    /// ties; ties on `(age, rotation)` fall to the *last* maximum, so the
+    /// winner depends on list order — shard planners build their lists in
+    /// the serial sweep's order exactly so this picks the same request.
+    pub(crate) fn link_winner(&self, li: usize, reqs: &[LinkRequest]) -> usize {
+        let rot = (self.cycle as usize + li) % reqs.len();
+        (0..reqs.len())
+            .max_by_key(|&i| (reqs[i].blocked_for, usize::from(i == rot)))
+            .expect("non-empty request list")
     }
 
     /// Resolves a target kind to the first currently free concrete VC.
-    fn resolve_target_vc(&self, cand: Candidate, vn: u8) -> Option<VcRef> {
+    pub(crate) fn resolve_target_vc(&self, cand: Candidate, vn: u8) -> Option<VcRef> {
         let vcs = self.config.vcs_per_vn as u8;
         let try_vc = |vc: u8| -> Option<VcRef> {
             let r = VcRef {
@@ -1149,6 +1286,30 @@ impl SimCore {
     }
 
     fn commit_move(&mut self, req: &LinkRequest, out_link: LinkId) {
+        let deferred = self.commit_move_deferring(req, out_link, |_| false);
+        debug_assert!(deferred.is_none());
+    }
+
+    /// Commits a granted link request. `defer` inspects the resolved
+    /// target's arena index: when it returns `true` the target-VC
+    /// occupation (and the packet's location update) is *not* applied
+    /// here but returned as a [`PendingOccupy`] for the caller to apply
+    /// later via [`SimCore::apply_remote_occupy`] — the sharded kernel's
+    /// cross-shard handoff. Everything else (source vacation, link
+    /// serialization, stats, telemetry, trace events) commits
+    /// immediately either way, so the two paths are bit-identical.
+    ///
+    /// Deferral is sound within a cycle because nothing else inspects the
+    /// target slot before the barrier: each output link receives exactly
+    /// one grant and every grant's target VC sits on its own output link,
+    /// so no later commit's `resolve_target_vc` can observe the deferred
+    /// slot.
+    pub(crate) fn commit_move_deferring(
+        &mut self,
+        req: &LinkRequest,
+        out_link: LinkId,
+        defer: impl Fn(usize) -> bool,
+    ) -> Option<PendingOccupy> {
         let now = self.cycle;
         // Free the source.
         match req.source {
@@ -1183,8 +1344,11 @@ impl SimCore {
             .resolve_target_vc(cand, vn)
             .expect("target was free at request time and only one grant per link");
         let tidx = self.vc_index(target);
-        let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
-        self.occupy_slot(tidx, req.pid, arrive, now);
+        let deferred = defer(tidx);
+        if !deferred {
+            let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
+            self.occupy_slot(tidx, req.pid, arrive, now);
+        }
         self.link_busy[out_link.index()] = now + p_len;
         // Packet bookkeeping.
         let to_node = self.topo.link(out_link).dst;
@@ -1192,11 +1356,13 @@ impl SimCore {
         let new_d = self.dmap.distance(to_node, p.dest);
         let misroute = new_d >= old_d;
         let pm = self.packets.get_mut(req.pid);
-        pm.loc = Location::Vc {
-            link: out_link,
-            vn: target.vn,
-            vc: target.vc,
-        };
+        if !deferred {
+            pm.loc = Location::Vc {
+                link: out_link,
+                vn: target.vn,
+                vc: target.vc,
+            };
+        }
         pm.hops += 1;
         if misroute {
             pm.misroutes += 1;
@@ -1234,9 +1400,30 @@ impl SimCore {
                 misroute,
             });
         }
+        deferred.then_some(PendingOccupy {
+            tidx: tidx as u32,
+            pid: req.pid,
+        })
     }
 
-    fn commit_eject(&mut self, vc_idx: usize, pid: PacketId) {
+    /// Applies a deferred cross-shard occupation (see
+    /// [`SimCore::commit_move_deferring`]): the packet lands in its
+    /// resolved target VC with the same arrival time it would have
+    /// received at commit time (both run within the same cycle).
+    pub(crate) fn apply_remote_occupy(&mut self, pending: PendingOccupy) {
+        let now = self.cycle;
+        let tidx = pending.tidx as usize;
+        let arrive = now + self.config.link_latency as u64 + self.config.router_latency as u64;
+        self.occupy_slot(tidx, pending.pid, arrive, now);
+        let r = self.vc_ref_of_index(tidx);
+        self.packets.get_mut(pending.pid).loc = Location::Vc {
+            link: r.link,
+            vn: r.vn,
+            vc: r.vc,
+        };
+    }
+
+    pub(crate) fn commit_eject(&mut self, vc_idx: usize, pid: PacketId) {
         let now = self.cycle;
         debug_assert_eq!(self.vc_occ[vc_idx], pid.0);
         let len = self.vc_len[vc_idx] as u64;

@@ -13,8 +13,14 @@
 #                                       (see EXPERIMENTS.md "Kernel
 #                                       performance") so the next default
 #                                       run reports speedups against it
+#   scripts/bench_kernel.sh --shards    bench the sim_kernel_shards group
+#                                       (saturated mesh(16,16) at shard
+#                                       counts 1/2/4/8) and merge the
+#                                       per-K medians plus the k4-vs-k1
+#                                       speedup into BENCH_kernel.json as
+#                                       its final "shards" key
 #
-# Keep PRESET_CYCLES and SCHEMES in sync with
+# Keep PRESET_CYCLES, SCHEMES, and SHARD_CYCLES in sync with
 # crates/bench/benches/sim_kernel.rs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +28,7 @@ cd "$(dirname "$0")/.."
 declare -A PRESET_CYCLES=( [low]=20000 [saturated]=5000 )
 PRESETS=(low saturated)
 SCHEMES=(escapevc spin drain)
+SHARD_CYCLES=1500
 
 if [[ "${1:-}" == "--test" ]]; then
     exec cargo bench -p drain-bench --bench sim_kernel -- --test
@@ -33,13 +40,11 @@ if [[ "${1:-}" == "--baseline" ]]; then
     OUT="$BASELINE"
 fi
 
-cargo bench -p drain-bench --bench sim_kernel
-
 commit=$(git describe --always --dirty 2>/dev/null || echo unknown)
 
 # Median per-iteration nanoseconds from the shim's estimates.json.
-median_ns() { # <preset> <scheme>
-    local f="target/criterion/sim_kernel/$1/$2/new/estimates.json"
+median_ns() { # <preset> <scheme>  (relative to target/criterion/<group>)
+    local f="target/criterion/$1/$2/new/estimates.json"
     sed -n 's/.*"median":{"point_estimate":\([0-9]*\)}.*/\1/p' "$f"
 }
 
@@ -47,6 +52,36 @@ median_ns() { # <preset> <scheme>
 per_cycle() { # <total-ns> <cycles>
     awk -v t="$1" -v c="$2" 'BEGIN { printf "%.1f", t / c }'
 }
+
+if [[ "${1:-}" == "--shards" ]]; then
+    cargo bench -p drain-bench --bench sim_kernel -- 'sim_kernel_shards'
+    shards_json=""
+    declare -A K_NPC
+    for k in 1 2 4 8; do
+        ns=$(median_ns sim_kernel_shards/mesh16 "k$k")
+        [[ -n "$ns" ]] || { echo "missing estimates for shards/k$k" >&2; exit 1; }
+        npc=$(per_cycle "$ns" "$SHARD_CYCLES")
+        K_NPC[$k]=$npc
+        shards_json+="\"k$k\":$npc,"
+    done
+    ratio=$(awk -v a="${K_NPC[1]}" -v b="${K_NPC[4]}" 'BEGIN { printf "%.2f", a / b }')
+    frag="\"shards\":{\"topo\":\"mesh16x16\",\"scheme\":\"drain\",\"rate\":0.40,"
+    frag+="\"cycles\":$SHARD_CYCLES,\"median_ns_per_cycle\":{${shards_json%,}},"
+    frag+="\"speedup_k4_vs_k1\":$ratio}"
+    if [[ -f "$OUT" ]]; then
+        # Replace a previous "shards" key (always the final key) if
+        # present, else splice before the root's closing brace.
+        json=$(sed 's/,"shards":.*/}/' "$OUT")
+        printf '%s,%s}\n' "${json%\}}" "$frag" > "$OUT"
+    else
+        printf '{"commit":"%s","bench":"sim_kernel",%s}\n' "$commit" "$frag" > "$OUT"
+    fi
+    echo "wrote $OUT"
+    cat "$OUT"
+    exit 0
+fi
+
+cargo bench -p drain-bench --bench sim_kernel -- 'sim_kernel/'
 
 # Median of three values.
 median3() {
@@ -66,7 +101,7 @@ for preset in "${PRESETS[@]}"; do
     schemes_json=""
     vals=()
     for scheme in "${SCHEMES[@]}"; do
-        ns=$(median_ns "$preset" "$scheme")
+        ns=$(median_ns "sim_kernel/$preset" "$scheme")
         [[ -n "$ns" ]] || { echo "missing estimates for $preset/$scheme" >&2; exit 1; }
         npc=$(per_cycle "$ns" "$cycles")
         vals+=("$npc")

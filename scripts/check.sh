@@ -17,11 +17,22 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> drain-fuzz smoke (invariants + differential oracle)"
+echo "==> drain-fuzz smoke (invariants + differential oracle, 2-shard kernel)"
+# --smoke pins the 2-shard allocation kernel, so every smoke point also
+# soaks shard determinism: a sharded-kernel divergence shows up as an
+# oracle failure here.
 cargo build --release -p drain-bench --bin drain_fuzz --quiet
 ./target/release/drain_fuzz --smoke --json results/drain_fuzz_smoke.json
 ./target/release/drain_fuzz --smoke --seed-fault \
     --json results/drain_fuzz_smoke_fault.json
+
+echo "==> sharded-kernel differentials (serial vs 2/4-shard bit-identity)"
+# Headline schemes at a low and a saturated rate: Stats, final cycle and
+# trace bytes must be identical at every shard count (also run as part of
+# the workspace suite above; repeated here so a sharded-kernel regression
+# is named in CI output, not buried in a 400-test run).
+cargo test -p drain-bench --test determinism -q sharded_kernel
+cargo test -p drain-netsim -q shard
 
 echo "==> drain-trace smoke (event trace + telemetry on a 4x4 mesh)"
 # The binary re-parses every JSONL line it wrote and asserts drain-epoch

@@ -29,7 +29,12 @@ fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d
 }
 
 /// ChaCha with 8 rounds, exposed as a seedable RNG.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares the exact stream position (key, counter, block,
+/// read index): two generators compare equal iff they will produce the
+/// same output forever. The sharded simulation kernel uses this to assert
+/// that every shard's census replay consumed the identical draw schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChaCha8Rng {
     /// Key words 4..12 and nonce words 14..16 of the ChaCha state; the
     /// 64-bit block counter lives in words 12..14.

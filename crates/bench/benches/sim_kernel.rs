@@ -20,6 +20,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use drain_bench::scheme::DrainVariant;
 use drain_bench::Scheme;
 use drain_netsim::traffic::SyntheticPattern;
+use drain_topology::faults::FaultInjector;
 use drain_topology::Topology;
 
 /// Directory-safe scheme ids (criterion mangles `label()`'s punctuation).
@@ -66,6 +67,87 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial (K=1) saturated mesh(16,16) preset over the three headline
+/// schemes — the same topology/rate/cycle-count as the sharded group
+/// below, so its per-K numbers have a same-preset serial comparison
+/// that is not drain-only. `scripts/bench_kernel.sh --shards` records
+/// these medians next to the shard medians in BENCH_kernel.json.
+fn bench_mesh16_serial(c: &mut Criterion) {
+    let topo = Topology::mesh(16, 16);
+    let cycles = 1_500u64;
+    let mut g = c.benchmark_group("sim_kernel_mesh16");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles));
+    for scheme in Scheme::headline() {
+        g.bench_with_input(
+            BenchmarkId::new("saturated", scheme_id(scheme)),
+            &scheme,
+            |b, &s| {
+                b.iter_batched(
+                    || {
+                        s.synthetic_sim(
+                            &topo,
+                            true,
+                            SyntheticPattern::UniformRandom,
+                            0.40,
+                            1,
+                            Scheme::DEFAULT_EPOCH,
+                        )
+                    },
+                    |mut sim| {
+                        sim.run(cycles);
+                        sim.stats().ejected
+                    },
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Congested irregular network — the regime the wake-driven Phase A
+/// scheduler targets: a faulty mesh(12,12) (24 random links removed)
+/// past its (much lower) saturation point, where blocked episodes span
+/// many cycles and parked heads skip real routing work. On the healthy
+/// mesh(8,8) `saturated` preset above blocked episodes last 1–2 cycles
+/// and the scheduler only breaks even; this preset is where it pays.
+fn bench_irregular(c: &mut Criterion) {
+    let topo = FaultInjector::new(9)
+        .remove_links(&Topology::mesh(12, 12), 24)
+        .expect("mesh(12,12) tolerates 24 removals");
+    let cycles = 2_000u64;
+    let mut g = c.benchmark_group("sim_kernel_irregular");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles));
+    for scheme in Scheme::headline() {
+        g.bench_with_input(
+            BenchmarkId::new("congested", scheme_id(scheme)),
+            &scheme,
+            |b, &s| {
+                b.iter_batched(
+                    || {
+                        s.synthetic_sim(
+                            &topo,
+                            false,
+                            SyntheticPattern::UniformRandom,
+                            0.25,
+                            11,
+                            512,
+                        )
+                    },
+                    |mut sim| {
+                        sim.run(cycles);
+                        sim.stats().ejected
+                    },
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
 /// Shard-count scaling of the allocation kernel: one saturated DRAIN
 /// point on mesh(16,16) per shard count K ∈ {1, 2, 4, 8}, the sharded
 /// path forced on from cycle 0. `scripts/bench_kernel.sh --shards`
@@ -103,5 +185,11 @@ fn bench_shards(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench, bench_shards);
+criterion_group!(
+    benches,
+    bench,
+    bench_mesh16_serial,
+    bench_irregular,
+    bench_shards
+);
 criterion_main!(benches);

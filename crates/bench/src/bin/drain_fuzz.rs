@@ -213,7 +213,11 @@ fn parse_args() -> Args {
                 args.inject = 1_500;
                 // CI smoke doubles as the shard-determinism soak: every
                 // point runs on the 2-shard kernel, whose verdicts must
-                // match the serial kernel's exactly.
+                // match the serial kernel's exactly. The wake-driven
+                // Phase A scheduler is on (config default) for every leg,
+                // so the smoke also soaks the wake graph — including the
+                // deep sweep's missed-wake oracle — and sabotage
+                // injection (`--seed-fault`) covers the wake path too.
                 args.shards = 2;
             }
             "--baseline" => {

@@ -40,6 +40,24 @@ impl DrainVariant {
     }
 }
 
+/// Applies the `DRAIN_PHASE_A` environment override to a simulator
+/// configuration: `dense` forces the re-route-every-cycle Phase A scan
+/// (wake scheduler off) — the parity/baseline mode for the wake-vs-dense
+/// differentials and `bench_kernel.sh --baseline` — while `wake`
+/// (re-)selects the default wake-driven scheduler. Both modes are
+/// bit-identical, so the result cache deliberately does not key on this.
+/// Honoured by every [`Scheme`]-built simulation and by the differential
+/// oracle (so `drain_fuzz` can be forced onto either path).
+pub fn phase_a_env_override(config: &mut SimConfig) {
+    if let Ok(v) = std::env::var("DRAIN_PHASE_A") {
+        match v.trim() {
+            "dense" => config.wake_scheduler = false,
+            "wake" => config.wake_scheduler = true,
+            other => panic!("DRAIN_PHASE_A must be 'wake' or 'dense', got {other:?}"),
+        }
+    }
+}
+
 /// One evaluated scheme.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scheme {
@@ -108,6 +126,7 @@ impl Scheme {
             config.shards = k;
             config.shard_min_active = 0;
         }
+        phase_a_env_override(&mut config);
         match self {
             Scheme::Drain(_) => {
                 let path = DrainPath::compute(topo).expect("connected topology");

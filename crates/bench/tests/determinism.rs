@@ -7,7 +7,11 @@
 //!    byte-identical traces with the gate forced off and on,
 //! 4. the sharded allocation kernel is invisible: the same seeded point
 //!    produces identical [`drain_netsim::Stats`], the same final cycle and
-//!    byte-identical traces at every shard count.
+//!    byte-identical traces at every shard count,
+//! 5. the wake-driven Phase A scheduler is invisible: the same seeded
+//!    point produces identical [`drain_netsim::Stats`], the same final
+//!    cycle and byte-identical traces with blocked-VC parking on and with
+//!    the dense re-route-every-cycle scan forced, at every shard count.
 
 use drain_bench::engine::SweepEngine;
 use drain_bench::cache::ResultCache;
@@ -271,6 +275,114 @@ fn sharded_kernel_keeps_traces_byte_identical() {
                 serial,
                 traced(k),
                 "{}: trace bytes must not depend on shard count {k}",
+                scheme.label()
+            );
+        }
+    }
+}
+
+/// One seeded point with the wake scheduler set to `wake` on the
+/// `shards`-way kernel. Returns the wake counters too, so callers can
+/// assert the parking path actually engaged.
+fn point_stats_wake(
+    scheme: Scheme,
+    rate: f64,
+    wake: bool,
+    shards: usize,
+) -> (Stats, u64, drain_netsim::WakeCounters) {
+    let topo = irregular_topo();
+    let mut sim =
+        scheme.synthetic_sim(&topo, false, SyntheticPattern::UniformRandom, rate, 11, 512);
+    sim.set_wake_scheduler(wake);
+    sim.set_shards(shards);
+    sim.run(6_000);
+    (
+        sim.stats().clone(),
+        sim.core().cycle(),
+        sim.core().wake_counters(),
+    )
+}
+
+/// Wake-scheduler differential: every headline scheme at a low and a
+/// saturated rate, on the serial and the 2-/4-shard kernels, must produce
+/// identical `Stats` (every counter and full latency histograms) and the
+/// same final cycle whether blocked VCs park on wake subscriptions or the
+/// dense Phase A scan re-routes them every cycle.
+#[test]
+fn wake_scheduler_is_bit_identical_to_dense_scan() {
+    for scheme in Scheme::headline() {
+        for rate in [0.01, 0.35] {
+            for k in [1usize, 2, 4] {
+                let (dense, dense_cycle, dense_ctrs) = point_stats_wake(scheme, rate, false, k);
+                let (wake, wake_cycle, wake_ctrs) = point_stats_wake(scheme, rate, true, k);
+                assert_eq!(
+                    dense,
+                    wake,
+                    "{} at rate {rate}, {k} shards: stats must not depend on the wake scheduler",
+                    scheme.label()
+                );
+                assert_eq!(
+                    dense_cycle,
+                    wake_cycle,
+                    "{} at rate {rate}, {k} shards: final cycle must not depend on the wake scheduler",
+                    scheme.label()
+                );
+                assert!(wake.ejected > 0, "{} at rate {rate} delivered nothing", scheme.label());
+                assert_eq!(
+                    dense_ctrs.parks, 0,
+                    "dense scan must never park ({})",
+                    scheme.label()
+                );
+                if rate > 0.1 {
+                    assert!(
+                        wake_ctrs.parks > 0 && wake_ctrs.skips > 0,
+                        "{} saturated at {k} shards: wake scheduler never engaged ({wake_ctrs:?})",
+                        scheme.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Same differential on the trace stream: with event capture on, the
+/// wake-driven and dense Phase A schedulers must yield byte-identical
+/// JSONL at every shard count.
+#[test]
+fn wake_scheduler_keeps_traces_byte_identical() {
+    let topo = irregular_topo();
+    for scheme in Scheme::headline() {
+        let traced = |wake: bool, shards: usize| -> String {
+            let mut sim = scheme.synthetic_sim_traced(
+                &topo,
+                false,
+                SyntheticPattern::UniformRandom,
+                0.10,
+                11,
+                512,
+                1,
+                TraceConfig::events_on(),
+            );
+            sim.set_wake_scheduler(wake);
+            sim.set_shards(shards);
+            sim.set_trace_sink(TraceSink::Memory(Vec::new()));
+            sim.run(2_000);
+            let events = sim
+                .core_mut()
+                .tracer_mut()
+                .take_memory()
+                .expect("memory sink installed");
+            assert!(!events.is_empty());
+            events
+                .iter()
+                .map(|e| e.to_jsonl() + "\n")
+                .collect()
+        };
+        for k in [1usize, 2, 4] {
+            assert_eq!(
+                traced(false, k),
+                traced(true, k),
+                "{}: trace bytes must not depend on the wake scheduler at {k} shards",
                 scheme.label()
             );
         }

@@ -285,6 +285,10 @@ fn occupancy_vcs(core: &SimCore) -> Result<(), String> {
 /// hence the cadence.
 fn occupancy_deep(core: &SimCore) -> Result<(), String> {
     core.validate_active_index()?;
+    // The wake scheduler's soundness contract: no parked head may have a
+    // feasible move, and subscription bookkeeping must balance (see
+    // [`SimCore::validate_wake_parking`]). Cheap when nothing is parked.
+    core.validate_wake_parking()?;
     let cfg = core.config();
     let live: HashMap<PacketId, &Packet> = core.live_packet_iter().collect();
     let mut holder: HashMap<PacketId, Location> = HashMap::new();

@@ -90,7 +90,7 @@ pub use packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
 pub use shard::{ShardFabric, ShardMap, MAX_SHARDS};
 pub use sim::{RunOutcome, Sim};
 pub use state::{SimCore, VcRef, VcState};
-pub use stats::Stats;
+pub use stats::{Stats, WakeCounters};
 pub use telemetry::{RouterTelemetry, Telemetry, TelemetrySample};
 pub use trace::{TraceConfig, TraceEvent, TraceSink, Tracer};
 

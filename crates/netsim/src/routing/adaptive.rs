@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use drain_topology::{distance::DistanceMap, IntoSharedTopology, Topology};
 
-use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc};
+use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc, WakeProfile};
 
 /// Fully adaptive random minimal routing over a [`DistanceMap`].
 ///
@@ -116,6 +116,14 @@ impl Routing for FullyAdaptive {
                 }
             }
         }
+    }
+
+    fn wake_profile(&self) -> WakeProfile {
+        // The minimal set is static; deflection widens it exactly once,
+        // when `blocked_for` reaches the threshold. `sample` only rotates
+        // (both `push_rotated` calls), never changes membership.
+        self.deflect_after
+            .map_or(WakeProfile::Stable, WakeProfile::WidensAt)
     }
 }
 

@@ -6,7 +6,7 @@
 
 use drain_topology::{IntoSharedTopology, LinkId, NodeId, Topology};
 
-use super::{Candidate, RouteCtx, Routing, TargetVc};
+use super::{Candidate, RouteCtx, Routing, TargetVc, WakeProfile};
 
 /// The unique XY next hop from `cur` toward `dest` on a mesh topology, or
 /// `None` when `cur == dest`.
@@ -121,6 +121,11 @@ impl Routing for DorAll {
             };
             out.push(Candidate { link, target });
         }
+    }
+
+    fn wake_profile(&self) -> WakeProfile {
+        // One table lookup keyed on (cur, dest); no sample, no pressure.
+        WakeProfile::Stable
     }
 }
 

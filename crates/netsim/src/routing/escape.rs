@@ -9,7 +9,7 @@
 
 use drain_topology::{distance::DistanceMap, updown::UpDownRouting, IntoSharedTopology};
 
-use super::{push_rotated, Candidate, DorTable, RouteCtx, Routing, TargetVc};
+use super::{push_rotated, Candidate, DorTable, RouteCtx, Routing, TargetVc, WakeProfile};
 
 /// Which restricted routing drives the escape VC.
 #[derive(Clone, Debug)]
@@ -116,6 +116,12 @@ impl Routing for EscapeVcRouting {
             );
             self.escape_candidates(ctx, true, out);
         }
+    }
+
+    fn wake_profile(&self) -> WakeProfile {
+        // Both branches depend only on cur/dest/arrived_via/in_escape —
+        // frozen while the packet stays put; `sample` only rotates.
+        WakeProfile::Stable
     }
 }
 

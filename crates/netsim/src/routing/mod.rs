@@ -66,6 +66,27 @@ pub struct RouteCtx {
     pub sample: u64,
 }
 
+/// How a routing's candidate *set* evolves while a head packet stays put,
+/// as a function of `RouteCtx::blocked_for` (all other context fields are
+/// frozen while the packet occupies the same VC). The wake-driven Phase A
+/// scheduler (see `state.rs`) may park a blocked head and skip re-routing
+/// it only if the set cannot silently change under it.
+///
+/// `sample` must only *reorder* candidates (the standard `push_rotated`
+/// idiom); a routing whose set membership depends on `sample` must report
+/// [`WakeProfile::Unstable`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WakeProfile {
+    /// The candidate set is independent of `blocked_for`: once computed
+    /// it stays valid until the packet moves.
+    Stable,
+    /// The set is constant below the threshold and constant (possibly
+    /// wider) at/above it: valid until `blocked_for` crosses the value.
+    WidensAt(u64),
+    /// No guarantee — the scheduler must re-route such heads every cycle.
+    Unstable,
+}
+
 /// A routing algorithm.
 ///
 /// Implementations must be deterministic functions of the context (the
@@ -82,6 +103,13 @@ pub trait Routing: Send + Sync {
     /// An empty result means the packet cannot move this cycle (it will be
     /// retried every cycle).
     fn candidates(&self, ctx: &RouteCtx, out: &mut Vec<Candidate>);
+
+    /// How the candidate set depends on `blocked_for` (see
+    /// [`WakeProfile`]). The default is the conservative answer: never
+    /// park, re-route every cycle.
+    fn wake_profile(&self) -> WakeProfile {
+        WakeProfile::Unstable
+    }
 }
 
 /// Rotates `links` by `sample` into `out` as candidates with `target` —

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use drain_topology::{IntoSharedTopology, LinkId, NodeId, Topology};
 
-use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc};
+use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc, WakeProfile};
 
 /// Which turn model to apply.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -134,6 +134,11 @@ impl Routing for TurnModel {
             TargetVc::Any
         };
         push_rotated(&links, ctx.sample, target, out);
+    }
+
+    fn wake_profile(&self) -> WakeProfile {
+        // Purely coordinate-based next hops; `sample` only rotates.
+        WakeProfile::Stable
     }
 }
 

@@ -2,7 +2,7 @@
 
 use drain_topology::{updown::UpDownRouting, Topology};
 
-use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc};
+use super::{push_rotated, Candidate, RouteCtx, Routing, TargetVc, WakeProfile};
 
 /// Topology-agnostic up*/down* routing applied to all VCs: deadlock-free by
 /// construction, at the cost of non-minimal paths and reduced path
@@ -45,6 +45,12 @@ impl Routing for UpDownAll {
             TargetVc::Any
         };
         push_rotated(links, ctx.sample, target, out);
+    }
+
+    fn wake_profile(&self) -> WakeProfile {
+        // Hops depend only on (cur, dest, phase(arrived_via)); `sample`
+        // only rotates.
+        WakeProfile::Stable
     }
 }
 

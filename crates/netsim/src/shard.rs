@@ -58,7 +58,7 @@ use drain_topology::{partition::Partition, LinkId, NodeId, Topology};
 
 use crate::packet::{MessageClass, PacketId};
 use crate::routing::Candidate;
-use crate::state::{LinkRequest, MoveSource, PendingOccupy, SimCore};
+use crate::state::{LinkRequest, MoveSource, ParkNote, PendingOccupy, PhaseAOutcome, SimCore};
 
 /// Maximum shard count: the fabric's nonempty-pair index is one `u64`
 /// (`8 × 8` ordered pairs).
@@ -225,6 +225,17 @@ pub(crate) struct ShardPlan {
     /// only while telemetry is active; counters are additive so the merge
     /// may apply them in any order).
     stalls: Vec<(u32, u64)>,
+    /// Wake-scheduler park notes for owned heads whose routing pass
+    /// returned `None`, computed against the frozen pre-commit state (the
+    /// serial sweep computes parks in Phase A, before any commit; the
+    /// merge must therefore apply these before ejects and grants so
+    /// commit-time vacates fire against the new deadlines).
+    parks: Vec<ParkNote>,
+    /// Parked owned heads skipped this cycle (wake accounting).
+    skips: u64,
+    /// Blocked owned heads that neither routed nor parked (wake
+    /// accounting).
+    wake_stalls: u64,
 }
 
 /// Outcome of one (node, class) ejection queue's arbitration.
@@ -266,10 +277,14 @@ pub(crate) fn plan_shard(
 ) -> ShardPlan {
     let now = core.cycle();
     let telem_on = core.telemetry().active();
+    let wake_on = core.config().wake_scheduler;
     let mut rng = core.rng_clone();
     scratch.reqs.clear();
     scratch.ejects.clear();
     let mut stalls: Vec<(u32, u64)> = Vec::new();
+    let mut parks: Vec<ParkNote> = Vec::new();
+    let mut skips = 0u64;
+    let mut wake_stalls = 0u64;
 
     // Phase A census: every occupied slot in ascending arena order —
     // the serial sweep's draw schedule. Non-owned slots still consume
@@ -293,13 +308,25 @@ pub(crate) fn plan_shard(
                 continue;
             }
             let sample = rng.gen::<u64>();
+            // Parked heads consume their census draw like every other
+            // ready non-ejecting head, but are not re-routed — the
+            // serial sweep's parked fast path, replayed shard-locally.
+            if wake_on && core.vc_wake_at[idx] > now {
+                if owned {
+                    skips += 1;
+                    if telem_on {
+                        stalls.push((u32::from(here), 1));
+                    }
+                }
+                continue;
+            }
             if !owned {
                 continue;
             }
             let link = LinkId(core.idx_link[idx]);
             let vc = core.idx_vc[idx];
-            match core.phase_a_route(idx, link, vc, sample, &mut scratch.cands) {
-                Some((out_link, target, blocked_for)) => scratch.reqs.push((
+            match core.phase_a_route_or_park(idx, link, vc, sample, &mut scratch.cands) {
+                PhaseAOutcome::Route(out_link, target, blocked_for) => scratch.reqs.push((
                     out_link.0,
                     LinkRequest {
                         source: MoveSource::Vc(idx),
@@ -308,9 +335,13 @@ pub(crate) fn plan_shard(
                         blocked_for,
                     },
                 )),
-                None => {
+                outcome => {
                     if telem_on {
                         stalls.push((u32::from(here), 1));
+                    }
+                    match outcome {
+                        PhaseAOutcome::Park(note) => parks.push(note),
+                        _ => wake_stalls += 1,
                     }
                 }
             }
@@ -404,6 +435,9 @@ pub(crate) fn plan_shard(
         ejects,
         grants,
         stalls,
+        parks,
+        skips,
+        wake_stalls,
     }
 }
 
@@ -419,6 +453,9 @@ fn apply_plans(
     let mut ejects: Vec<EjectOutcome> = Vec::new();
     let mut grants: Vec<(u32, LinkRequest)> = Vec::new();
     let mut stalls: Vec<(u32, u64)> = Vec::new();
+    let mut parks: Vec<ParkNote> = Vec::new();
+    let mut skips = 0u64;
+    let mut wake_stalls = 0u64;
     for p in plans {
         match &rng {
             // Every clone must have replayed the identical global draw
@@ -429,8 +466,24 @@ fn apply_plans(
         ejects.extend(p.ejects);
         grants.extend(p.grants);
         stalls.extend(p.stalls);
+        parks.extend(p.parks);
+        skips += p.skips;
+        wake_stalls += p.wake_stalls;
     }
     core.set_rng(rng.expect("at least one shard plan"));
+
+    // Park notes first — the serial kernel parks in Phase A, before any
+    // commit, so commit-time vacates below must fire against the new
+    // deadlines. Ascending arena index reproduces the serial sweep's
+    // subscription-list insertion order exactly (not required for
+    // behaviour — fires are commutative — but it keeps internal wake
+    // state bit-identical to the serial kernel's, which the deep
+    // validator can then compare without caveats).
+    parks.sort_unstable_by_key(|n| n.idx);
+    for n in parks {
+        core.apply_park(n);
+    }
+    core.note_wake_skips(skips, wake_stalls);
 
     // Ejection outcomes ascending queue id (ids are unique across plans).
     ejects.sort_unstable_by_key(EjectOutcome::queue);

@@ -122,6 +122,14 @@ impl Sim {
         self.core.set_fast_forward(enabled);
     }
 
+    /// Switches the wake-driven Phase A scheduler (see
+    /// [`SimConfig::wake_scheduler`]) on or off for an assembled
+    /// simulation, resetting all wake state. Results are bit-identical
+    /// either way; the wake-vs-dense differential tests prove it.
+    pub fn set_wake_scheduler(&mut self, enabled: bool) {
+        self.core.set_wake_scheduler(enabled);
+    }
+
     /// The simulation state.
     pub fn core(&self) -> &SimCore {
         &self.core
@@ -218,6 +226,10 @@ impl Sim {
                 self.core.apply_forced(&moves, kind)
             }
         }
+        // All of this cycle's vacates (allocation or forced) have
+        // committed — deliver the surviving wake fires before the
+        // validators look at the parked set.
+        self.core.flush_wakes();
         self.instrument();
         self.core.telemetry_tick();
         if self.core.config().checks.any_per_cycle() {

@@ -41,8 +41,8 @@ use drain_topology::{distance::DistanceMap, IntoSharedTopology, LinkId, NodeId, 
 use crate::config::SimConfig;
 use crate::mechanism::{ForcedKind, ForcedMove};
 use crate::packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
-use crate::routing::{Candidate, RouteCtx, Routing, TargetVc};
-use crate::stats::Stats;
+use crate::routing::{Candidate, RouteCtx, Routing, TargetVc, WakeProfile};
+use crate::stats::{Stats, WakeCounters};
 use crate::telemetry::Telemetry;
 use crate::trace::{TraceEvent, Tracer};
 
@@ -107,6 +107,58 @@ pub(crate) struct LinkRequest {
     pub(crate) target: TargetVc,
     /// How long the requester has been waiting (age-based arbitration).
     pub(crate) blocked_for: u64,
+}
+
+/// One wake-list entry: slot `slot` (link-major VC index) subscribed to
+/// vacates on an output link, `j` being that link's position among the
+/// slot's router's out-links (the bit it holds in `sub_mask[slot]`).
+#[derive(Clone, Copy, Debug)]
+struct WakeSub {
+    slot: u32,
+    j: u8,
+}
+
+/// Park-profitability gate window (cycles). At each boundary the core
+/// compares the window's parks against the visits they saved (skips) and
+/// stops parking when a park buys fewer than [`GATE_MIN_SKIPS_PER_PARK`]
+/// skips — on workloads whose blocked episodes last only a cycle or two
+/// (a healthy mesh past saturation) the park/wake bookkeeping costs more
+/// than the routing it skips. Parking choice never affects results (a
+/// `Stall` is exactly the dense scan's behaviour), so the gate is purely
+/// a speed knob; it re-probes every [`GATE_PROBE_PERIOD`]-th window.
+const GATE_WINDOW: u64 = 2_048;
+/// A gated-off scheduler re-enables parking every this many windows to
+/// re-measure profitability (workload phases change).
+const GATE_PROBE_PERIOD: u64 = 8;
+/// Minimum skips a park must earn in a window to keep parking on.
+const GATE_MIN_SKIPS_PER_PARK: u64 = 2;
+/// Windows with fewer parks than this are too quiet to judge (and cost
+/// nothing): the gate stays on.
+const GATE_MIN_PARKS: u64 = 64;
+
+/// A parking decision for one blocked head, computed against pre-commit
+/// state by [`SimCore::phase_a_route_or_park`] (`&self`, shared with the
+/// shard planners) and applied by [`SimCore::apply_park`]. `subs` is a
+/// bitmask over the head router's out-link positions to subscribe to.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ParkNote {
+    pub(crate) idx: u32,
+    pub(crate) wake_at: u64,
+    pub(crate) subs: u32,
+}
+
+/// Outcome of one fused Phase A routing + parking decision
+/// ([`SimCore::phase_a_route_or_park`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PhaseAOutcome {
+    /// Request this output link (target-VC kind, `blocked_for` age).
+    Route(LinkId, TargetVc, u64),
+    /// No feasible move; park the head under this note.
+    Park(ParkNote),
+    /// No feasible move; the head stays active and is re-routed next
+    /// cycle (dense mode, unparkable routing, or a park whose wake would
+    /// fire before it could skip a single visit).
+    Stall,
 }
 
 /// A granted move whose target-VC occupation was deferred because the
@@ -203,6 +255,42 @@ pub struct SimCore {
     req_bits: Vec<u64>,
     /// Ejection-request scratch.
     eject_buf: Vec<(usize, usize, PacketId)>,
+    /// Wake scheduler: per-VC wake deadline. `0` = fresh/active (route on
+    /// visit); `> now` = parked (Phase A skips routing, the head only
+    /// consumes its RNG draw); `0 < v <= now` = woken, routes on the next
+    /// visit. `pub(crate)` read-only for the shard planners' census.
+    pub(crate) vc_wake_at: Vec<u64>,
+    /// Wake scheduler: per-output-link subscriber lists, fired (drained)
+    /// by [`SimCore::vacate_slot`] on that link's input buffers.
+    wake_subs: Vec<Vec<WakeSub>>,
+    /// Wake scheduler: per-slot bitmask over the slot's router's out-link
+    /// positions `j` with a live entry in that link's `wake_subs` list.
+    /// Invariant: bit `j` set ⟺ exactly one `(slot, j)` entry exists —
+    /// a *slot* property that survives occupant turnover, so stale
+    /// entries never accumulate and re-parking never duplicates them.
+    sub_mask: Vec<u32>,
+    /// Wake scheduler: slots vacated this cycle whose link has
+    /// subscribers, awaiting the end-of-cycle [`SimCore::flush_wakes`].
+    /// Deferring the fire past the commit phase suppresses wakes for
+    /// slots re-occupied in the same cycle: a transient free interval
+    /// inside one cycle is invisible to Phase A, so never firing for it
+    /// is exact and saves the whole spurious wake→route→re-park round
+    /// trip.
+    pending_fires: Vec<u32>,
+    /// Park-profitability gate (see [`GATE_WINDOW`]): `false` suspends
+    /// *new* parks (already-parked heads still wake normally).
+    park_gate: bool,
+    /// Next cycle at which the gate re-evaluates.
+    gate_next: u64,
+    /// `wake.parks` at the last gate evaluation.
+    gate_parks: u64,
+    /// `wake.skips` at the last gate evaluation.
+    gate_skips: u64,
+    /// Routing wake profile, cached at construction (the routing function
+    /// never changes afterwards).
+    wake_profile: WakeProfile,
+    /// Wake scheduler accounting (outside `Stats`: see [`WakeCounters`]).
+    wake: WakeCounters,
     /// Structured event bus (see [`crate::trace`]).
     tracer: Tracer,
     /// Telemetry sampler (see [`crate::telemetry`]).
@@ -266,6 +354,16 @@ impl SimCore {
             req_buf: (0..m).map(|_| Vec::new()).collect(),
             req_bits: vec![0; m.div_ceil(64)],
             eject_buf: Vec::new(),
+            vc_wake_at: vec![0; slots],
+            wake_subs: (0..m).map(|_| Vec::new()).collect(),
+            sub_mask: vec![0; slots],
+            pending_fires: Vec::new(),
+            park_gate: true,
+            gate_next: GATE_WINDOW,
+            gate_parks: 0,
+            gate_skips: 0,
+            wake_profile: routing.wake_profile(),
+            wake: WakeCounters::default(),
             tracer,
             telem,
             dmap,
@@ -549,16 +647,83 @@ impl SimCore {
         self.vc_dest[idx] = dest;
         self.vc_class[idx] = class;
         self.vc_len[idx] = len;
+        // A new tenant starts fresh: any previous tenant's park deadline is
+        // meaningless for it. Its subscription *entries* (sub_mask bits)
+        // deliberately survive — they are slot properties; a stale one
+        // fires at most one spurious wake and removes itself.
+        self.vc_wake_at[idx] = 0;
         self.activate(idx);
     }
 
     /// Marks `idx` empty, accepting new packets from `free_at` (tail
-    /// serialization).
+    /// serialization). Every vacate in the simulator funnels through
+    /// here, so queueing the slot for the end-of-cycle wake flush is
+    /// exhaustive: no freeing event can bypass the parked subscribers.
     #[inline]
     fn vacate_slot(&mut self, idx: usize, free_at: u64) {
         self.vc_occ[idx] = EMPTY;
         self.vc_free_at[idx] = free_at;
         self.deactivate(idx);
+        let li = self.idx_link[idx] as usize;
+        if !self.wake_subs[li].is_empty() {
+            self.pending_fires.push(idx as u32);
+        }
+    }
+
+    /// End-of-cycle wake flush: fires the subscriber list of every link
+    /// that had a slot vacate this cycle *and still holds it empty now*.
+    /// A slot re-occupied by a later commit in the same cycle never
+    /// presents a free buffer to any Phase A sweep, so skipping its fire
+    /// is exact — its own eventual vacate re-queues the link. The
+    /// delivered deadline is `max(min free_at, link_busy)`: every grant
+    /// has committed by flush time and `link_busy` only moves forward, so
+    /// no subscriber can use the link any earlier. Must run before the
+    /// per-cycle validators (`validate_wake_parking` assumes no fire is
+    /// in flight). Sorting makes the fire order — and thus the exact
+    /// internal wake state — independent of commit order, which is what
+    /// keeps the serial and sharded kernels bit-identical here.
+    pub(crate) fn flush_wakes(&mut self) {
+        if self.pending_fires.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending_fires);
+        pending.sort_unstable();
+        let mut i = 0;
+        while i < pending.len() {
+            let li = self.idx_link[pending[i] as usize] as usize;
+            // Same-link slots are index-adjacent (link-major arena), so
+            // one sorted run = one link.
+            let mut free_at = u64::MAX;
+            while i < pending.len() && self.idx_link[pending[i] as usize] as usize == li {
+                let idx = pending[i] as usize;
+                if self.vc_occ[idx] == EMPTY {
+                    free_at = free_at.min(self.vc_free_at[idx]);
+                }
+                i += 1;
+            }
+            if free_at != u64::MAX {
+                self.fire_wakes(li, free_at.max(self.link_busy[li]));
+            }
+        }
+        pending.clear();
+        self.pending_fires = pending;
+    }
+
+    /// Fires every subscription on output link `li`: the freed slot
+    /// accepts new packets from `wake_at`, so each subscriber's wake
+    /// deadline drops to at most that cycle (`min` — events only ever
+    /// *advance* wakes; a fresh/active slot stays at 0). Entries are
+    /// consumed: a wake is one-shot, re-parking re-subscribes.
+    fn fire_wakes(&mut self, li: usize, wake_at: u64) {
+        let mut subs = std::mem::take(&mut self.wake_subs[li]);
+        self.wake.wakes += subs.len() as u64;
+        for s in subs.drain(..) {
+            self.sub_mask[s.slot as usize] &= !(1u32 << s.j);
+            let w = &mut self.vc_wake_at[s.slot as usize];
+            *w = (*w).min(wake_at);
+        }
+        // Hand the (empty) allocation back for reuse.
+        self.wake_subs[li] = subs;
     }
 
     /// Snapshot of one VC buffer's state (see [`VcState`]).
@@ -869,6 +1034,30 @@ impl SimCore {
     /// Advances the cycle counter (called by the driver after all phases).
     pub(crate) fn advance_cycle(&mut self) {
         self.cycle += 1;
+        if self.config.wake_scheduler && self.cycle >= self.gate_next {
+            self.gate_tick();
+        }
+    }
+
+    /// Park-profitability gate boundary (see [`GATE_WINDOW`]). Runs on
+    /// the core in both the serial and the sharded drivers, on committed
+    /// counters only, so the gate trajectory is identical everywhere the
+    /// stepped cycles are. Idle fast-forward may skip boundaries — the
+    /// `>=` catch-up in [`SimCore::advance_cycle`] re-evaluates on the
+    /// next stepped cycle; an idle window has no parks to judge anyway.
+    #[cold]
+    fn gate_tick(&mut self) {
+        let w = self.cycle / GATE_WINDOW;
+        if self.park_gate {
+            let dp = self.wake.parks - self.gate_parks;
+            let ds = self.wake.skips - self.gate_skips;
+            self.park_gate = dp < GATE_MIN_PARKS || ds >= GATE_MIN_SKIPS_PER_PARK * dp;
+        } else {
+            self.park_gate = w.is_multiple_of(GATE_PROBE_PERIOD);
+        }
+        self.gate_parks = self.wake.parks;
+        self.gate_skips = self.wake.skips;
+        self.gate_next = (w + 1) * GATE_WINDOW;
     }
 
     /// The earliest future cycle at which the *network* could act, or
@@ -1082,12 +1271,25 @@ impl SimCore {
             eject_reqs.push((self.qidx(here, class), idx, pid));
             return;
         }
+        // The determinism contract: every visited ready non-ejecting head
+        // consumes exactly one draw — parked or not — so the wake scheduler
+        // never shifts the draw schedule.
         let sample = self.rng.gen::<u64>();
+        // Parked fast path: a head whose last routing pass proved no
+        // feasible move, with a wake deadline still in the future, routes
+        // the same `None` the dense scan would recompute — skip the ctx
+        // build, the routing call and the feasibility walk entirely. This
+        // is the saturated-regime cost the wake scheduler removes.
+        if self.vc_wake_at[idx] > now {
+            self.wake.skips += 1;
+            if self.telem.active() {
+                self.telem.note_credit_stalls(here.index(), 1);
+            }
+            return;
+        }
         let mut cands = std::mem::take(&mut self.cand_buf);
-        let routed = self.phase_a_route(idx, link, vc, sample, &mut cands);
-        self.cand_buf = cands;
-        match routed {
-            Some((out_link, target, blocked_for)) => self.register_request(
+        match self.phase_a_route_or_park(idx, link, vc, sample, &mut cands) {
+            PhaseAOutcome::Route(out_link, target, blocked_for) => self.register_request(
                 out_link,
                 LinkRequest {
                     source: MoveSource::Vc(idx),
@@ -1097,13 +1299,19 @@ impl SimCore {
                 },
             ),
             // A resident packet that cannot even request a move is
-            // credit-stalled at its current router.
-            None => {
+            // credit-stalled at its current router; the fused walk may
+            // have decided to park it until its answer can change.
+            outcome => {
                 if self.telem.active() {
                     self.telem.note_credit_stalls(here.index(), 1);
                 }
+                match outcome {
+                    PhaseAOutcome::Park(note) => self.apply_park(note),
+                    _ => self.wake.stalls += 1,
+                }
             }
         }
+        self.cand_buf = cands;
     }
 
     /// Pure Phase A routing decision for the ready, non-ejecting head at
@@ -1228,6 +1436,337 @@ impl SimCore {
             }
         }
         None
+    }
+
+    /// Fused Phase A routing + parking decision for the ready,
+    /// non-ejecting head at `idx`: the first feasible candidate in
+    /// rotated order — exactly [`SimCore::phase_a_route`]'s answer — or,
+    /// when every candidate is infeasible, a parking decision folded out
+    /// of the *same* walk (no second pass over the candidate set: the
+    /// failure walk has already touched every link clock and target slot
+    /// the wake decision needs).
+    ///
+    /// Parking is declined (`Stall`) when unsound — an
+    /// [`WakeProfile::Unstable`] routing, or a router too wide for the
+    /// 32-bit subscription mask — and when it is sound but *worthless*: a
+    /// wake deadline of `now + 1` fires before the next visit could skip
+    /// anything, so the park would be pure bookkeeping. That last rule
+    /// carries the saturated-regime win: with single-cycle link
+    /// serialization, any candidate with an empty-but-infeasible slot
+    /// yields a `now + 1` deadline, so heads only ever park when every
+    /// eligible candidate slot is occupied — the parks that sleep until a
+    /// vacate actually fires.
+    ///
+    /// Soundness argument (missed wakes are impossible):
+    ///
+    /// * The candidate *set* is frozen while the packet stays put except
+    ///   at known `blocked_for` thresholds (routing widening, escape-entry
+    ///   patience); `blocked_for`'s base is frozen while occupied, so each
+    ///   uncrossed threshold converts to an exact timed wake.
+    /// * Per candidate, feasibility needs a free link and a free target
+    ///   VC. `link_busy`/`vc_free_at` only ever move a *known* deadline
+    ///   (timed wake at the max of both for empty slots); occupied slots
+    ///   can free only through [`SimCore::vacate_slot`], which fires this
+    ///   link's subscriptions. State changes in the other direction
+    ///   (occupations, busier links) only delay feasibility and are
+    ///   re-checked on wake.
+    ///
+    /// The feasibility half must stay behaviourally identical to
+    /// [`SimCore::phase_a_route`] (same downgrade, same link/slot checks,
+    /// same first-match order). That duplication is deliberate:
+    /// `validate_wake_parking` re-routes parked heads through the
+    /// *independent* `choose_feasible` walk, so any drift between the two
+    /// shows up as a missed-wake violation in the deep sweeps and
+    /// proptests, not as silent divergence.
+    ///
+    /// Takes `&self` against pre-commit state and is shared with the
+    /// shard planners (like [`SimCore::phase_a_route`]); the merge must
+    /// apply all park notes before any Phase B commit, mirroring the
+    /// serial Phase A → Phase B order.
+    pub(crate) fn phase_a_route_or_park(
+        &self,
+        idx: usize,
+        link: LinkId,
+        vc: u8,
+        sample: u64,
+        cands: &mut Vec<Candidate>,
+    ) -> PhaseAOutcome {
+        let now = self.cycle;
+        let dest = NodeId(self.vc_dest[idx]);
+        debug_assert_eq!(
+            dest,
+            self.packets.get(PacketId(self.vc_occ[idx])).dest,
+            "stale dest mirror"
+        );
+        let here = self.topo.link(link).dst;
+        let in_escape = self.config.escape_sticky && vc == 0;
+        let base = self.vc_entered_at[idx].max(self.vc_ready_at[idx]);
+        let blocked_for = now.saturating_sub(base);
+        let ctx = RouteCtx {
+            cur: here,
+            dest,
+            arrived_via: Some(link),
+            in_escape,
+            blocked_for,
+            sample,
+        };
+        let class = MessageClass(self.vc_class[idx]);
+        let vn = self.config.vn_of_class(class) as u8;
+        debug_assert_eq!(
+            vn,
+            ((idx % self.stride) / self.config.vcs_per_vn) as u8,
+            "packet must sit in its class VN"
+        );
+        let patience = self.config.escape_entry_patience;
+        let allow_escape = in_escape || self.escape_always_allowed() || blocked_for >= patience;
+        cands.clear();
+        self.routing.candidates(&ctx, cands);
+
+        let out_links = self.topo.out_links(here);
+        let mut parkable = self.config.wake_scheduler
+            && self.park_gate
+            && !matches!(self.wake_profile, WakeProfile::Unstable)
+            && out_links.len() <= 32;
+        let mut wake_at = u64::MAX;
+        if parkable {
+            if let WakeProfile::WidensAt(t) = self.wake_profile {
+                if blocked_for < t {
+                    wake_at = base + t;
+                }
+            }
+            if !allow_escape {
+                // Escape targets unlock when `blocked_for` reaches the
+                // patience threshold (both the skipped `EscapeOnly`
+                // candidates and the `Any` → `NonEscapeOnly` downgrade).
+                wake_at = wake_at.min(base + patience);
+            }
+        }
+        let vcs = self.config.vcs_per_vn as u8;
+        let mut subs: u32 = 0;
+        for cand in cands.iter() {
+            let target = match (cand.target, allow_escape) {
+                (TargetVc::Any, false) => TargetVc::NonEscapeOnly,
+                (TargetVc::EscapeOnly, false) => continue,
+                (t, _) => t,
+            };
+            let li = cand.link.index();
+            let link_busy = self.link_busy[li];
+            if link_busy <= now
+                && self
+                    .resolve_target_vc(
+                        Candidate {
+                            link: cand.link,
+                            target,
+                        },
+                        vn,
+                    )
+                    .is_some()
+            {
+                return PhaseAOutcome::Route(cand.link, target, blocked_for);
+            }
+            if !parkable {
+                continue;
+            }
+            // Infeasible candidate: fold it into the wake decision.
+            let (lo, hi) = match target {
+                TargetVc::EscapeOnly => (0u8, 1u8),
+                TargetVc::NonEscapeOnly => (1, vcs),
+                TargetVc::Any => (0, vcs),
+            };
+            let slot0 = li * self.stride + vn as usize * self.config.vcs_per_vn;
+            let mut any_occupied = false;
+            for tvc in lo..hi {
+                let s = slot0 + tvc as usize;
+                if self.vc_occ[s] != EMPTY {
+                    any_occupied = true;
+                } else {
+                    // Empty but infeasible: claimable no earlier than
+                    // when both the link and the buffer tail free up.
+                    wake_at = wake_at.min(link_busy.max(self.vc_free_at[s]));
+                }
+            }
+            if any_occupied {
+                match out_links.iter().position(|&l| l == cand.link) {
+                    Some(j) => subs |= 1u32 << j,
+                    // A candidate that is not an out-link of `here` would
+                    // break the subscription invariant; never park on it.
+                    None => {
+                        debug_assert!(false, "candidate {:?} not an out-link", cand.link);
+                        parkable = false;
+                    }
+                }
+            }
+        }
+        if !parkable {
+            return PhaseAOutcome::Stall;
+        }
+        debug_assert!(
+            wake_at > now,
+            "an infeasible move cannot become feasible this cycle"
+        );
+        // A wake at `now + 1` fires before the next visit could skip
+        // anything — the park would be pure overhead. Stay active.
+        if wake_at <= now + 1 {
+            return PhaseAOutcome::Stall;
+        }
+        PhaseAOutcome::Park(ParkNote {
+            idx: idx as u32,
+            wake_at,
+            subs,
+        })
+    }
+
+    /// Applies a park note: records the wake deadline and inserts the
+    /// subscription entries this slot does not already hold (the
+    /// `sub_mask` invariant makes the dedup exact, so entry counts stay
+    /// bounded by the router degree no matter how often the slot
+    /// re-parks).
+    pub(crate) fn apply_park(&mut self, note: ParkNote) {
+        let idx = note.idx as usize;
+        if self.vc_wake_at[idx] != 0 {
+            // The head had parked before and this visit's wake failed to
+            // unblock it.
+            self.wake.spurious_wakes += 1;
+        }
+        self.vc_wake_at[idx] = note.wake_at;
+        let mut fresh = note.subs & !self.sub_mask[idx];
+        self.sub_mask[idx] |= note.subs;
+        if fresh != 0 {
+            let out_links = self.topo.out_links(NodeId(self.idx_here[idx]));
+            while fresh != 0 {
+                let j = fresh.trailing_zeros() as u8;
+                fresh &= fresh - 1;
+                let li = out_links[j as usize].index();
+                self.wake_subs[li].push(WakeSub {
+                    slot: note.idx,
+                    j,
+                });
+            }
+        }
+        self.wake.parks += 1;
+    }
+
+    /// Conservative wake-all: every parked head's deadline drops to `now`
+    /// so the next Phase A sweep re-routes it. Used around events the
+    /// subscription graph does not model (mechanism-forced permutations).
+    /// Subscription entries stay in place — the `sub_mask` invariant is a
+    /// slot property, and a later fire on a woken slot is a no-op `min`.
+    pub(crate) fn wake_all(&mut self) {
+        if !self.config.wake_scheduler {
+            return;
+        }
+        let now = self.cycle;
+        for &idx in &self.active {
+            let w = &mut self.vc_wake_at[idx as usize];
+            *w = (*w).min(now);
+        }
+        self.wake.wake_alls += 1;
+    }
+
+    /// Wake-scheduler accounting since construction (or the last
+    /// [`SimCore::set_wake_scheduler`] toggle).
+    pub fn wake_counters(&self) -> WakeCounters {
+        self.wake
+    }
+
+    /// Credits `skips` parked-head skips and `stalls` unparked blocked
+    /// visits (the shard merge applies the workers' per-plan counts
+    /// through this; the counters are additive so apply order is
+    /// immaterial).
+    pub(crate) fn note_wake_skips(&mut self, skips: u64, stalls: u64) {
+        self.wake.skips += skips;
+        self.wake.stalls += stalls;
+    }
+
+    /// Switches the wake-driven Phase A scheduler on or off mid-assembly
+    /// and resets all wake state: deadlines, subscription lists, masks and
+    /// counters. The reset is what makes enabling *after* a disabled
+    /// stretch sound — fires skipped while disabled can no longer be
+    /// missed if nothing is parked. Results are bit-identical either way
+    /// (differential tests exist to prove it).
+    pub fn set_wake_scheduler(&mut self, enabled: bool) {
+        self.config.wake_scheduler = enabled;
+        self.vc_wake_at.iter_mut().for_each(|w| *w = 0);
+        self.sub_mask.iter_mut().for_each(|m| *m = 0);
+        self.wake_subs.iter_mut().for_each(Vec::clear);
+        self.pending_fires.clear();
+        self.wake = WakeCounters::default();
+        self.park_gate = true;
+        self.gate_parks = 0;
+        self.gate_skips = 0;
+        self.gate_next = (self.cycle / GATE_WINDOW + 1) * GATE_WINDOW;
+    }
+
+    /// Deep-sweep validation of the wake scheduler (paired with
+    /// [`SimCore::validate_active_index`]):
+    ///
+    /// * *No missed wake*: every parked head (`wake_at > now`) must still
+    ///   route `None` — re-deciding Phase A for it right now (sample 0;
+    ///   `None`-ness is sample-independent, see [`WakeProfile`]) must not
+    ///   find a feasible move the scheduler would have skipped.
+    /// * *Subscription bookkeeping*: every `sub_mask` bit corresponds to
+    ///   exactly one `(slot, j)` entry in the right link's wake list, and
+    ///   no list holds an entry without its mask bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate_wake_parking(&self) -> Result<(), String> {
+        let now = self.cycle;
+        let mut cands = Vec::new();
+        for &idx in &self.active {
+            let idx = idx as usize;
+            if self.vc_wake_at[idx] <= now {
+                continue;
+            }
+            let link = LinkId(self.idx_link[idx]);
+            let vc = self.idx_vc[idx];
+            if self.vc_ready_at[idx] > now {
+                return Err(format!(
+                    "parked VC {:?} is not allocation-eligible (ready_at {} > {now})",
+                    self.vc_ref_of_index(idx),
+                    self.vc_ready_at[idx]
+                ));
+            }
+            if let Some((l, _, _)) = self.phase_a_route(idx, link, vc, 0, &mut cands) {
+                return Err(format!(
+                    "missed wake: parked VC {:?} (wake_at {}) has a feasible move via {l:?}",
+                    self.vc_ref_of_index(idx),
+                    self.vc_wake_at[idx]
+                ));
+            }
+        }
+        let mut entry_counts = vec![0u32; self.sub_mask.len()];
+        for (li, list) in self.wake_subs.iter().enumerate() {
+            for s in list {
+                let slot = s.slot as usize;
+                if self.sub_mask[slot] & (1u32 << s.j) == 0 {
+                    return Err(format!(
+                        "wake entry (slot {slot}, j {}) on link {li} has no mask bit",
+                        s.j
+                    ));
+                }
+                let here = NodeId(self.idx_here[slot]);
+                let expect = self.topo.out_links(here).get(s.j as usize).copied();
+                if expect != Some(LinkId(li as u32)) {
+                    return Err(format!(
+                        "wake entry (slot {slot}, j {}) sits on link {li}, expected {expect:?}",
+                        s.j
+                    ));
+                }
+                entry_counts[slot] += 1;
+            }
+        }
+        for (slot, &mask) in self.sub_mask.iter().enumerate() {
+            if mask.count_ones() != entry_counts[slot] {
+                return Err(format!(
+                    "slot {slot} mask has {} bits but {} wake entries exist",
+                    mask.count_ones(),
+                    entry_counts[slot]
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Registers a pending request on `link` for this cycle's Phase B
@@ -1483,6 +2022,14 @@ impl SimCore {
     /// source VC is empty.
     pub(crate) fn apply_forced(&mut self, moves: &[ForcedMove], kind: ForcedKind) {
         let now = self.cycle;
+        // A forced permutation rearranges occupancy wholesale — packets
+        // land in new buffers, links go busy, ejections free VCs. The
+        // vacates below fire their own wake lists, but conservatively wake
+        // every parked head anyway: forced cycles are rare (one per drain
+        // epoch / spin) and a blanket re-route is provably safe, whereas
+        // proving the subscription graph covers every mechanism's side
+        // effects is not worth the fragility.
+        self.wake_all();
         // Validate + snapshot.
         let mut staged: Vec<(PacketId, VcRef)> = Vec::with_capacity(moves.len());
         for m in moves {
@@ -1644,6 +2191,10 @@ impl SimCore {
             return;
         }
         self.vacate_slot(idx, self.cycle);
+        // Out-of-band vacate (mechanism `control`, before this cycle's
+        // Phase A): deliver the wake now so parked heads can use the
+        // freed slot this very cycle, exactly as the dense scan would.
+        self.flush_wakes();
         self.stats.oracle_resolutions += 1;
         self.finish_delivery(PacketId(occ), true);
     }

@@ -123,6 +123,33 @@ impl LatencyHistogram {
     }
 }
 
+/// Wake-driven Phase A scheduler accounting (see `SimCore` and DESIGN.md
+/// §9). Deliberately *not* part of [`Stats`]: `Stats` is compared exactly
+/// in the wake-on-vs-dense differential tests, and these counters are the
+/// one thing that legitimately differs between the two schedulers (the
+/// `ff_cycles_skipped` precedent in `Sim`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WakeCounters {
+    /// Heads parked after a routing pass produced no feasible move.
+    pub parks: u64,
+    /// Parked-head visits skipped (no ctx build / routing / feasibility).
+    pub skips: u64,
+    /// Subscription wake deliveries: entries consumed by slot-vacate
+    /// fires (the thundering-herd volume — every subscriber of the freed
+    /// slot's link wakes, exactness demands it).
+    pub wakes: u64,
+    /// Wakes whose next routing pass immediately re-parked the head
+    /// (spurious: the wake event did not actually unblock it).
+    pub spurious_wakes: u64,
+    /// Conservative wake-alls (mechanism-forced cycles etc.).
+    pub wake_alls: u64,
+    /// Blocked visits that routed to nothing but did not park (unstable
+    /// routing profile, wide radix, or a wake deadline of `now + 1` that
+    /// could not skip anything). In dense mode every blocked visit lands
+    /// here, so `stalls` doubles as the blocked-population gauge.
+    pub stalls: u64,
+}
+
 /// Aggregated statistics for one simulation.
 ///
 /// `PartialEq` compares every counter and histogram exactly — the

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Times the per-cycle simulator kernel (the `sim_kernel` criterion bench:
-# low-injection and saturated presets over the headline schemes) and
-# records the medians in BENCH_kernel.json at the repo root.
+# low-injection, saturated, and congested-irregular presets over the
+# headline schemes) and records the medians in BENCH_kernel.json at the
+# repo root.
 #
 # Usage:
 #   scripts/bench_kernel.sh             bench + write BENCH_kernel.json
@@ -25,10 +26,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-declare -A PRESET_CYCLES=( [low]=20000 [saturated]=5000 )
-PRESETS=(low saturated)
+declare -A PRESET_CYCLES=( [low]=20000 [saturated]=5000 [irregular]=2000 )
+PRESETS=(low saturated irregular)
 SCHEMES=(escapevc spin drain)
 SHARD_CYCLES=1500
+
+# Criterion directory for one preset's estimates ("irregular" lives in
+# its own benchmark group — a congested faulty mesh(12,12), the wake
+# scheduler's target regime).
+preset_dir() { # <preset>
+    case "$1" in
+        irregular) echo "sim_kernel_irregular/congested" ;;
+        *)         echo "sim_kernel/$1" ;;
+    esac
+}
 
 if [[ "${1:-}" == "--test" ]]; then
     exec cargo bench -p drain-bench --bench sim_kernel -- --test
@@ -40,7 +51,13 @@ if [[ "${1:-}" == "--baseline" ]]; then
     OUT="$BASELINE"
 fi
 
-commit=$(git describe --always --dirty 2>/dev/null || echo unknown)
+# Stamp with the commit actually checked out at run time (plus a -dirty
+# suffix when the worktree has uncommitted changes), so a stale JSON is
+# recognisable by its hash instead of masquerading as current.
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if [[ "$commit" != unknown && -n "$(git status --porcelain 2>/dev/null)" ]]; then
+    commit="$commit-dirty"
+fi
 
 # Median per-iteration nanoseconds from the shim's estimates.json.
 median_ns() { # <preset> <scheme>  (relative to target/criterion/<group>)
@@ -54,7 +71,15 @@ per_cycle() { # <total-ns> <cycles>
 }
 
 if [[ "${1:-}" == "--shards" ]]; then
-    cargo bench -p drain-bench --bench sim_kernel -- 'sim_kernel_shards'
+    cargo bench -p drain-bench --bench sim_kernel -- 'sim_kernel_shards|sim_kernel_mesh16'
+    # Serial (K=1) mesh(16,16) saturated medians for all three headline
+    # schemes — the same-preset comparison for the per-K drain numbers.
+    serial_json=""
+    for scheme in "${SCHEMES[@]}"; do
+        ns=$(median_ns sim_kernel_mesh16/saturated "$scheme")
+        [[ -n "$ns" ]] || { echo "missing estimates for mesh16/$scheme" >&2; exit 1; }
+        serial_json+="\"$scheme\":$(per_cycle "$ns" "$SHARD_CYCLES"),"
+    done
     shards_json=""
     declare -A K_NPC
     for k in 1 2 4 8; do
@@ -66,7 +91,9 @@ if [[ "${1:-}" == "--shards" ]]; then
     done
     ratio=$(awk -v a="${K_NPC[1]}" -v b="${K_NPC[4]}" 'BEGIN { printf "%.2f", a / b }')
     frag="\"shards\":{\"topo\":\"mesh16x16\",\"scheme\":\"drain\",\"rate\":0.40,"
-    frag+="\"cycles\":$SHARD_CYCLES,\"median_ns_per_cycle\":{${shards_json%,}},"
+    frag+="\"cycles\":$SHARD_CYCLES,"
+    frag+="\"serial_ns_per_cycle\":{${serial_json%,}},"
+    frag+="\"median_ns_per_cycle\":{${shards_json%,}},"
     frag+="\"speedup_k4_vs_k1\":$ratio}"
     if [[ -f "$OUT" ]]; then
         # Replace a previous "shards" key (always the final key) if
@@ -81,7 +108,7 @@ if [[ "${1:-}" == "--shards" ]]; then
     exit 0
 fi
 
-cargo bench -p drain-bench --bench sim_kernel -- 'sim_kernel/'
+cargo bench -p drain-bench --bench sim_kernel -- 'sim_kernel/|sim_kernel_irregular'
 
 # Median of three values.
 median3() {
@@ -101,7 +128,7 @@ for preset in "${PRESETS[@]}"; do
     schemes_json=""
     vals=()
     for scheme in "${SCHEMES[@]}"; do
-        ns=$(median_ns "sim_kernel/$preset" "$scheme")
+        ns=$(median_ns "$(preset_dir "$preset")" "$scheme")
         [[ -n "$ns" ]] || { echo "missing estimates for $preset/$scheme" >&2; exit 1; }
         npc=$(per_cycle "$ns" "$cycles")
         vals+=("$npc")

@@ -20,7 +20,9 @@ cargo test --workspace -q
 echo "==> drain-fuzz smoke (invariants + differential oracle, 2-shard kernel)"
 # --smoke pins the 2-shard allocation kernel, so every smoke point also
 # soaks shard determinism: a sharded-kernel divergence shows up as an
-# oracle failure here.
+# oracle failure here. The wake-driven Phase A scheduler is on (config
+# default) for every leg, so the smoke — sabotage injection included —
+# also soaks the wake graph under the deep sweep's missed-wake oracle.
 cargo build --release -p drain-bench --bin drain_fuzz --quiet
 ./target/release/drain_fuzz --smoke --json results/drain_fuzz_smoke.json
 ./target/release/drain_fuzz --smoke --seed-fault \
@@ -55,5 +57,13 @@ echo "==> kernel benchmark (smoke mode: untimed low + saturated presets)"
 # here, not in a figure regeneration a week later.
 scripts/bench_kernel.sh --test
 cargo test -p drain-bench --test golden_pin -q
+
+echo "==> wake-scheduler smoke (wake-vs-dense differentials + dense golden pins)"
+# The golden-pin run above already gates the wake-driven Phase A scheduler
+# (it is the config default). Here the wake-vs-dense differentials get a
+# named CI line, and the pins are repeated once with the dense scan forced
+# — both schedulers must reproduce the same FNV constants bit-for-bit.
+cargo test -p drain-bench --test determinism -q wake_scheduler
+DRAIN_PHASE_A=dense cargo test -p drain-bench --test golden_pin -q
 
 echo "All checks passed."

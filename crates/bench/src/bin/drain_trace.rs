@@ -9,6 +9,9 @@
 //!   stalls, per-link utilization) go to `<out>/telemetry.jsonl`;
 //! * a per-router utilization & misroute table is printed and written to
 //!   `<out>/drain_trace_routers.csv`;
+//! * a scheduler/fast-forward summary (wake-driven Phase A counters plus
+//!   elided-cycle accounting, read from the unified metrics registry) is
+//!   printed and written to `<out>/drain_trace_scheduler.csv`;
 //! * the flight recorder is armed at `<out>/flightrec/`, so a failing
 //!   point leaves a replayable dump.
 //!
@@ -126,6 +129,7 @@ struct TraceRun {
     samples: Vec<TelemetrySample>,
     flight_record: Option<PathBuf>,
     sink_errors: u64,
+    metrics: drain_netsim::MetricsSnapshot,
 }
 
 fn telemetry_jsonl(samples: &[TelemetrySample], period: u64) -> String {
@@ -243,6 +247,7 @@ fn main() {
                 flit_hops: s.flit_hops,
                 flight_record: sim.flight_record().map(|p| p.to_path_buf()),
                 sink_errors: sim.core().tracer().sink_errors(),
+                metrics: sim.metrics_snapshot(),
                 samples: sim.core_mut().telemetry_mut().take_samples(),
             }
         },
@@ -363,6 +368,39 @@ fn main() {
     ];
     print_table("per-router activity (from trace)", &header, &rows);
     write_csv_in(&args.out, "drain_trace_routers", &header, &rows);
+
+    // Scheduler + fast-forward accounting, straight from the unified
+    // metrics registry. Wake/park counters are network-global (the wake
+    // scheduler tracks VCs, not routers), so they print as a summary
+    // block beside the per-router table rather than extra columns.
+    let m = &run.metrics;
+    let wake = |event: &str| {
+        m.counter_value_labeled("drain_wake_events_total", &[("event", event)])
+            .unwrap_or(0)
+    };
+    let sched_rows: Vec<Vec<String>> = [
+        ("vc_parks", wake("parks")),
+        ("vc_skips", wake("skips")),
+        ("vc_wakes", wake("wakes")),
+        ("spurious_wakes", wake("spurious_wakes")),
+        ("wake_alls", wake("wake_alls")),
+        ("wake_stalls", wake("stalls")),
+        (
+            "ff_cycles_skipped",
+            m.counter_value("drain_ff_cycles_skipped_total").unwrap_or(0),
+        ),
+        ("ff_jumps", m.counter_value("drain_ff_jumps_total").unwrap_or(0)),
+    ]
+    .into_iter()
+    .map(|(name, v)| vec![name.to_string(), v.to_string()])
+    .collect();
+    let sched_header = ["counter", "total"];
+    print_table(
+        "scheduler & fast-forward (from metrics registry)",
+        &sched_header,
+        &sched_rows,
+    );
+    write_csv_in(&args.out, "drain_trace_scheduler", &sched_header, &sched_rows);
 
     println!(
         "\ntrace: {} events ({} drain-epoch starts) -> {}",

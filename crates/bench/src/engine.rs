@@ -27,6 +27,7 @@
 //! [`crate::sweep::load_sweep`] path no matter the thread count.
 
 use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::cache::ResultCache;
@@ -37,6 +38,7 @@ use crate::scheme::Scheme;
 use crate::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
 use crate::sweep::Point;
 use drain_netsim::traffic::SyntheticPattern;
+use drain_netsim::MetricsSnapshot;
 
 /// Whether the engine should paint a live progress line on stderr:
 /// `DRAIN_PROGRESS=0` disables it, any other value forces it on, and when
@@ -55,17 +57,29 @@ struct Progress {
     enabled: bool,
     label: String,
     cached: usize,
+    threads: usize,
     started: Instant,
+    /// Busy wall nanoseconds accumulated by finished jobs (written by the
+    /// worker that finished each job, read by `tick` for the live
+    /// utilization figure).
+    busy_nanos: AtomicU64,
 }
 
 impl Progress {
-    fn new(label: &str, cached: usize) -> Progress {
+    fn new(label: &str, cached: usize, threads: usize) -> Progress {
         Progress {
             enabled: progress_enabled(),
             label: label.to_string(),
             cached,
+            threads: threads.max(1),
             started: Instant::now(),
+            busy_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Credits one finished job's wall time to the busy counter.
+    fn note_busy(&self, nanos: u64) {
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Repaints the line; called from worker threads as jobs finish (each
@@ -74,6 +88,7 @@ impl Progress {
         if !self.enabled {
             return;
         }
+        let elapsed = self.started.elapsed().as_secs_f64();
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
@@ -83,7 +98,12 @@ impl Progress {
         if self.cached > 0 {
             let _ = write!(err, ", {} cached", self.cached);
         }
-        let _ = write!(err, " | {:.1}s", self.started.elapsed().as_secs_f64());
+        let _ = write!(err, " | {elapsed:.1}s");
+        if elapsed > 0.0 && done > 0 {
+            let busy = self.busy_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+            let util = (busy / (elapsed * self.threads as f64) * 100.0).min(100.0);
+            let _ = write!(err, " | {:.1} pt/s | {util:.0}% util", done as f64 / elapsed);
+        }
         let _ = err.flush();
     }
 
@@ -112,6 +132,7 @@ pub struct SweepEngine {
     sim_cycles: u64,
     busy_secs: f64,
     max_job_ms: f64,
+    queue_wait_secs: f64,
 }
 
 impl SweepEngine {
@@ -137,6 +158,7 @@ impl SweepEngine {
             sim_cycles: 0,
             busy_secs: 0.0,
             max_job_ms: 0.0,
+            queue_wait_secs: 0.0,
         }
     }
 
@@ -159,21 +181,27 @@ impl SweepEngine {
         self.cache_hits += specs.len() - miss_idx.len();
 
         let misses: Vec<&PointSpec> = miss_idx.iter().map(|&i| &specs[i]).collect();
-        let progress = Progress::new(&self.figure, specs.len() - miss_idx.len());
+        let progress = Progress::new(&self.figure, specs.len() - miss_idx.len(), self.threads);
         let simulated = runner::run_indexed_progress(
             &misses,
             self.threads,
-            |spec| spec.run(),
+            |spec| {
+                let t0 = Instant::now();
+                let p = spec.run();
+                progress.note_busy(t0.elapsed().as_nanos() as u64);
+                p
+            },
             |done, total| progress.tick(done, total),
         );
         progress.clear();
 
-        for (&i, (point, wall)) in miss_idx.iter().zip(simulated) {
+        for (&i, (point, timing)) in miss_idx.iter().zip(simulated) {
             self.cache.store(&specs[i], &point);
             self.simulated += 1;
             self.sim_cycles += specs[i].sim_cycles();
-            let ms = wall.as_secs_f64() * 1e3;
-            self.busy_secs += wall.as_secs_f64();
+            let ms = timing.wall.as_secs_f64() * 1e3;
+            self.busy_secs += timing.wall.as_secs_f64();
+            self.queue_wait_secs += timing.wait.as_secs_f64();
             if ms > self.max_job_ms {
                 self.max_job_ms = ms;
             }
@@ -211,17 +239,26 @@ impl SweepEngine {
     {
         self.total_points += jobs.len();
         self.simulated += jobs.len();
-        let progress = Progress::new(&self.figure, 0);
-        let out = runner::run_indexed_progress(jobs, self.threads, f, |done, total| {
-            progress.tick(done, total)
-        });
+        let progress = Progress::new(&self.figure, 0, self.threads);
+        let out = runner::run_indexed_progress(
+            jobs,
+            self.threads,
+            |job| {
+                let t0 = Instant::now();
+                let r = f(job);
+                progress.note_busy(t0.elapsed().as_nanos() as u64);
+                r
+            },
+            |done, total| progress.tick(done, total),
+        );
         progress.clear();
         out.into_iter()
             .enumerate()
-            .map(|(i, (r, wall))| {
+            .map(|(i, (r, timing))| {
                 self.sim_cycles += sim_cycles(&jobs[i], &r);
-                let ms = wall.as_secs_f64() * 1e3;
-                self.busy_secs += wall.as_secs_f64();
+                let ms = timing.wall.as_secs_f64() * 1e3;
+                self.busy_secs += timing.wall.as_secs_f64();
+                self.queue_wait_secs += timing.wait.as_secs_f64();
                 if ms > self.max_job_ms {
                     self.max_job_ms = ms;
                 }
@@ -269,7 +306,65 @@ impl SweepEngine {
             } else {
                 0.0
             },
+            queue_wait_secs: self.queue_wait_secs,
+            worker_utilization: if wall > 0.0 {
+                (self.busy_secs / (wall * self.threads as f64)).min(1.0)
+            } else {
+                0.0
+            },
         }
+    }
+
+    /// The engine's own counters as a mergeable [`MetricsSnapshot`] under
+    /// the `drain_sweep_` namespace — per-job cache hit/miss, queue wait,
+    /// worker utilization and throughput, ready to merge with per-point
+    /// simulation snapshots and expose via Prometheus or JSONL.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let r = self.report();
+        let mut m = MetricsSnapshot::new();
+        m.counter_labeled(
+            "drain_sweep_points_total",
+            "Sweep points by source",
+            &[("source", "simulated")],
+            r.simulated as u64,
+        );
+        m.counter_labeled(
+            "drain_sweep_points_total",
+            "Sweep points by source",
+            &[("source", "cached")],
+            r.cache_hits as u64,
+        );
+        m.counter(
+            "drain_sweep_sim_cycles_total",
+            "Simulated cycles across sweep points",
+            r.sim_cycles,
+        );
+        m.gauge(
+            "drain_sweep_busy_seconds_total",
+            "Summed job wall seconds across workers",
+            r.busy_secs,
+        );
+        m.gauge(
+            "drain_sweep_queue_wait_seconds_total",
+            "Summed queue wait seconds across jobs",
+            r.queue_wait_secs,
+        );
+        m.gauge(
+            "drain_sweep_worker_utilization",
+            "Busy fraction of the worker pool over the run",
+            r.worker_utilization,
+        );
+        m.gauge(
+            "drain_sweep_points_per_sec",
+            "Sweep points completed per wall second",
+            r.points_per_sec,
+        );
+        m.gauge(
+            "drain_sweep_sim_cycles_per_sec",
+            "Simulated cycles per wall second",
+            r.sim_cycles_per_sec,
+        );
+        m
     }
 }
 

@@ -29,6 +29,8 @@
 //! * [`report`] — the experiment/metrics contract ([`report::RunReport`],
 //!   CSV emission).
 //! * [`json`] — dependency-free JSON used by cache and reports.
+//! * [`serve`] — a tiny blocking HTTP listener exposing Prometheus-format
+//!   metric snapshots (see the `drain_metrics` binary).
 //! * [`apps`] — closed-loop application workload runs.
 //! * [`table`] — markdown row printing.
 
@@ -44,6 +46,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod scheme;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 

@@ -42,6 +42,10 @@ pub fn results_dir() -> PathBuf {
 /// * `points_per_sec` — `total_points / wall_secs`.
 /// * `max_point_wall_ms` / `mean_point_wall_ms` — per-job wall-clock
 ///   milliseconds over simulated jobs (0 when everything was cached).
+/// * `queue_wait_secs` — summed seconds jobs spent queued before a worker
+///   picked them up.
+/// * `worker_utilization` — `busy_secs / (wall_secs * threads)` in
+///   `[0, 1]`: how busy the pool was on average.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Figure name (`fig10`, `table1`, …).
@@ -70,6 +74,12 @@ pub struct RunReport {
     pub max_point_wall_ms: f64,
     /// Mean job duration (milliseconds).
     pub mean_point_wall_ms: f64,
+    /// Summed queue-wait seconds across jobs (time between the pool
+    /// starting and each job being picked up by a worker).
+    pub queue_wait_secs: f64,
+    /// Busy fraction of the worker pool over the run:
+    /// `busy_secs / (wall_secs * threads)`, clamped to `[0, 1]`.
+    pub worker_utilization: f64,
 }
 
 impl RunReport {
@@ -89,6 +99,8 @@ impl RunReport {
             ("points_per_sec", json::num(self.points_per_sec)),
             ("max_point_wall_ms", json::num(self.max_point_wall_ms)),
             ("mean_point_wall_ms", json::num(self.mean_point_wall_ms)),
+            ("queue_wait_secs", json::num(self.queue_wait_secs)),
+            ("worker_utilization", json::num(self.worker_utilization)),
         ])
         .to_string()
     }
@@ -200,6 +212,8 @@ mod tests {
             points_per_sec: 5.0,
             max_point_wall_ms: 900.0,
             mean_point_wall_ms: 600.0,
+            queue_wait_secs: 1.5,
+            worker_utilization: 0.75,
         }
     }
 

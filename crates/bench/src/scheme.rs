@@ -127,6 +127,18 @@ impl Scheme {
             config.shard_min_active = 0;
         }
         phase_a_env_override(&mut config);
+        // `DRAIN_PROFILE=P` turns on the kernel phase profiler (sample
+        // every P cycles) for every experiment simulation. The profiler
+        // is a pure observer — bit-identical results at any cadence,
+        // enforced by the metrics differential suite and the golden pins
+        // — so the result cache deliberately does not key on it either.
+        if let Ok(v) = std::env::var("DRAIN_PROFILE") {
+            let p: u64 = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("DRAIN_PROFILE must be an integer, got {v:?}"));
+            config.metrics.profile_period = p;
+        }
         match self {
             Scheme::Drain(_) => {
                 let path = DrainPath::compute(topo).expect("connected topology");

@@ -1,0 +1,157 @@
+//! A tiny blocking HTTP listener for Prometheus-style metric scrapes —
+//! the seed of the sim-as-a-service wire layer.
+//!
+//! [`MetricsServer`] binds a TCP socket, spawns one background thread,
+//! and answers every request with the current snapshot body (text
+//! format 0.0.4). The simulation thread updates the body with
+//! [`MetricsServer::set_body`] whenever it takes a fresh
+//! [`drain_netsim::MetricsSnapshot`]; scrapes never touch simulator
+//! state, so serving cannot perturb results.
+//!
+//! Deliberately minimal — std-only, one request per connection, no
+//! keep-alive, no routing (every path returns the same body). That is
+//! all a Prometheus scraper or `curl` needs.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared state between the serving thread and the owner.
+struct Shared {
+    body: Mutex<String>,
+    stop: AtomicBool,
+}
+
+/// A blocking metrics endpoint serving the latest snapshot over HTTP.
+///
+/// Dropping the server stops the background thread (it unblocks the
+/// accept loop by connecting to itself).
+pub struct MetricsServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `bind` (e.g. `127.0.0.1:9184`; port 0 picks a free port)
+    /// and starts serving an empty body. Fails if the address cannot be
+    /// bound — callers should degrade gracefully (metrics files still
+    /// get written without the listener).
+    pub fn serve(bind: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            body: Mutex::new(String::new()),
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("drain-metrics-http".into())
+            .spawn(move || serve_loop(listener, &thread_shared))?;
+        Ok(MetricsServer {
+            shared,
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the body served to subsequent scrapes.
+    pub fn set_body(&self, body: String) {
+        *self.shared.body.lock().expect("metrics body lock poisoned") = body;
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        // Drain the request line + headers (best-effort; we answer any
+        // request the same way, so parsing failures are harmless).
+        let mut buf = [0u8; 2048];
+        let _ = stream.read(&mut buf);
+        let body = shared
+            .body
+            .lock()
+            .expect("metrics body lock poisoned")
+            .clone();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("send request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_current_body_and_shuts_down() {
+        // Loopback sockets may be denied in sandboxed environments; skip
+        // rather than fail — the server is optional everywhere it is used.
+        let server = match MetricsServer::serve("127.0.0.1:0") {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("skipping metrics server test (bind failed: {e})");
+                return;
+            }
+        };
+        let addr = server.local_addr();
+
+        let first = scrape(addr);
+        assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+        assert!(first.contains("text/plain; version=0.0.4"), "{first}");
+
+        server.set_body("drain_cycle 42\n".into());
+        let second = scrape(addr);
+        assert!(second.ends_with("drain_cycle 42\n"), "{second}");
+
+        drop(server);
+        // After drop the port must be released or refuse connections —
+        // either way a fresh scrape cannot return our body.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(!out.contains("drain_cycle 42"), "{out}");
+        }
+    }
+}

@@ -115,6 +115,14 @@ impl CheckConfig {
     }
 }
 
+/// Whether the deep (O(live packets)) check tier runs at `cycle` — the
+/// single cadence predicate shared by [`run_checks`] and the driver's
+/// sweep-count accounting, so the `drain_check_sweeps_total{tier="deep"}`
+/// metric can never drift from what actually ran.
+pub fn deep_sweep_due(checks: &CheckConfig, cycle: u64) -> bool {
+    checks.deep_interval > 0 && cycle.is_multiple_of(checks.deep_interval)
+}
+
 /// Which invariant a [`Violation`] broke.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ViolationKind {
@@ -204,7 +212,7 @@ fn violation(core: &SimCore, kind: ViolationKind, detail: String) -> Violation {
 /// sweeps' packet lookups, so they are reported first).
 pub fn run_checks(core: &SimCore) -> Result<(), Violation> {
     let checks = &core.config().checks;
-    let deep = checks.deep_interval > 0 && core.cycle().is_multiple_of(checks.deep_interval);
+    let deep = deep_sweep_due(checks, core.cycle());
     if checks.occupancy {
         occupancy_vcs(core).map_err(|d| violation(core, ViolationKind::Occupancy, d))?;
         if deep {

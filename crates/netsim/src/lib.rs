@@ -37,6 +37,10 @@
 //!   [`traffic::TraceTraffic`], which *replays* workload traces.
 //! * [`telemetry`] — opt-in periodic sampler: per-router VC occupancy,
 //!   queue depths, credit stalls and per-link utilization time series.
+//! * [`metrics`] — the unified metrics registry (counters / gauges /
+//!   histograms under one stable `drain_` namespace, Prometheus and
+//!   JSONL exposition) and the sampled kernel phase profiler. Pure
+//!   observers: enabling them cannot perturb results.
 //!
 //! # Examples
 //!
@@ -74,6 +78,7 @@ pub mod check;
 pub mod config;
 pub mod deadlock;
 pub mod mechanism;
+pub mod metrics;
 pub mod packet;
 pub mod routing;
 pub mod shard;
@@ -86,6 +91,10 @@ pub mod traffic;
 
 pub use check::{CheckConfig, PacketFingerprint, RecordingEndpoints, Violation, ViolationKind};
 pub use config::SimConfig;
+pub use metrics::{
+    HistogramSnapshot, MetricFamily, MetricKind, MetricSample, MetricValue, MetricsConfig,
+    MetricsSnapshot, Phase, PhaseProfiler,
+};
 pub use packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
 pub use shard::{ShardFabric, ShardMap, MAX_SHARDS};
 pub use sim::{RunOutcome, Sim};

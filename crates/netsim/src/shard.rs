@@ -53,9 +53,11 @@
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
 
 use drain_topology::{partition::Partition, LinkId, NodeId, Topology};
 
+use crate::metrics::Phase;
 use crate::packet::{MessageClass, PacketId};
 use crate::routing::Candidate;
 use crate::state::{LinkRequest, MoveSource, ParkNote, PendingOccupy, PhaseAOutcome, SimCore};
@@ -236,6 +238,9 @@ pub(crate) struct ShardPlan {
     /// Blocked owned heads that neither routed nor parked (wake
     /// accounting).
     wake_stalls: u64,
+    /// Wall nanoseconds this plan took, measured only on phase-profiler
+    /// sampled cycles (0 otherwise); credited to the shard at the merge.
+    plan_nanos: u64,
 }
 
 /// Outcome of one (node, class) ejection queue's arbitration.
@@ -278,6 +283,10 @@ pub(crate) fn plan_shard(
     let now = core.cycle();
     let telem_on = core.telemetry().active();
     let wake_on = core.config().wake_scheduler;
+    // Self-timing for the phase profiler: only on sampled cycles (one
+    // bool read through the shared core otherwise), and a pure observer
+    // — the measurement never feeds back into the plan.
+    let timing = core.prof_active().then(Instant::now);
     let mut rng = core.rng_clone();
     scratch.reqs.clear();
     scratch.ejects.clear();
@@ -438,17 +447,19 @@ pub(crate) fn plan_shard(
         parks,
         skips,
         wake_stalls,
+        plan_nanos: timing.map_or(0, |t0| t0.elapsed().as_nanos() as u64),
     }
 }
 
 /// Commits the shards' plans against the core in canonical serial order
-/// (see the module docs); cross-shard occupations ride `fabric`.
+/// (see the module docs); cross-shard occupations ride `fabric`. Returns
+/// the number of flits that crossed a shard boundary this cycle.
 fn apply_plans(
     core: &mut SimCore,
     map: &ShardMap,
     plans: Vec<ShardPlan>,
     fabric: &mut ShardFabric,
-) {
+) -> u64 {
     let mut rng: Option<ChaCha8Rng> = None;
     let mut ejects: Vec<EjectOutcome> = Vec::new();
     let mut grants: Vec<(u32, LinkRequest)> = Vec::new();
@@ -456,13 +467,14 @@ fn apply_plans(
     let mut parks: Vec<ParkNote> = Vec::new();
     let mut skips = 0u64;
     let mut wake_stalls = 0u64;
-    for p in plans {
+    for (shard, p) in plans.into_iter().enumerate() {
         match &rng {
             // Every clone must have replayed the identical global draw
             // schedule — the determinism contract's keystone.
             Some(r) => debug_assert!(*r == p.rng, "shard census RNG streams diverged"),
             None => rng = Some(p.rng),
         }
+        core.prof_note_shard(shard, p.plan_nanos);
         ejects.extend(p.ejects);
         grants.extend(p.grants);
         stalls.extend(p.stalls);
@@ -498,14 +510,17 @@ fn apply_plans(
 
     // Link grants ascending link id (one grant per link, ids unique).
     grants.sort_unstable_by_key(|&(li, _)| li);
+    let mut fabric_flits = 0u64;
     for (li, req) in &grants {
         let from = map.link_owner[*li as usize];
         let pending =
             core.commit_move_deferring(req, LinkId(*li), |tidx| map.slot_owner[tidx] != from);
         if let Some(p) = pending {
             fabric.push(from, map.slot_owner[p.tidx as usize], p.tidx, p.pid.0);
+            fabric_flits += 1;
         }
     }
+    core.prof_mark(Phase::PhaseB);
 
     // Cross-shard deliveries in canonical (from, to, dense index) order.
     fabric.drain_in_order(|_, _, tidx, pid| {
@@ -514,11 +529,14 @@ fn apply_plans(
             pid: PacketId(pid),
         });
     });
+    core.prof_mark(Phase::Fabric);
 
     // Phase A credit-stall notes (additive counters; order immaterial).
     for (router, n) in stalls {
         core.note_credit_stalls(router as usize, n);
     }
+    core.prof_mark(Phase::PhaseB);
+    fabric_flits
 }
 
 /// The sharded kernel's per-`Sim` runtime: ownership tables, the
@@ -528,6 +546,11 @@ pub(crate) struct ShardRuntime {
     fabric: ShardFabric,
     pool: pool::Pool,
     scratch0: PlanScratch,
+    /// Flits that crossed a shard boundary through the fabric so far.
+    fabric_flits: u64,
+    /// Cycles allocated by the sharded kernel (the hybrid gate may route
+    /// low-occupancy cycles to the serial allocator).
+    sharded_cycles: u64,
 }
 
 impl ShardRuntime {
@@ -542,6 +565,8 @@ impl ShardRuntime {
             fabric: ShardFabric::new(k),
             pool: pool::Pool::new(k),
             scratch0: PlanScratch::default(),
+            fabric_flits: 0,
+            sharded_cycles: 0,
         }
     }
 
@@ -550,8 +575,20 @@ impl ShardRuntime {
     /// `SimCore::allocate_and_move`.
     pub(crate) fn allocate(&mut self, core: &mut SimCore) {
         let plans = self.pool.plan_cycle(core, &self.map, &mut self.scratch0);
-        apply_plans(core, &self.map, plans, &mut self.fabric);
+        core.prof_mark(Phase::PhaseA);
+        self.fabric_flits += apply_plans(core, &self.map, plans, &mut self.fabric);
+        self.sharded_cycles += 1;
         debug_assert!(self.fabric.is_empty(), "fabric drained at the barrier");
+    }
+
+    /// Flits that crossed a shard boundary through the fabric so far.
+    pub(crate) fn fabric_flits(&self) -> u64 {
+        self.fabric_flits
+    }
+
+    /// Cycles allocated by the sharded kernel so far.
+    pub(crate) fn sharded_cycles(&self) -> u64 {
+        self.sharded_cycles
     }
 }
 

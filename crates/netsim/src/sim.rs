@@ -9,6 +9,7 @@ use std::path::{Path, PathBuf};
 use crate::check::{self, Violation};
 use crate::deadlock;
 use crate::mechanism::{ControlAction, Mechanism};
+use crate::metrics::{MetricsSnapshot, Phase};
 use crate::shard::ShardRuntime;
 use crate::state::SimCore;
 use crate::stats::Stats;
@@ -51,6 +52,11 @@ pub struct Sim {
     ff_cycles_skipped: u64,
     /// Number of fast-forward jumps taken.
     ff_jumps: u64,
+    /// Cycles on which the cheap per-cycle invariant tier ran (outside
+    /// [`Stats`] for the same reason as the fast-forward counters).
+    check_sweeps: u64,
+    /// Cycles on which the deep invariant tier additionally ran.
+    check_deep_sweeps: u64,
     /// Sharded-kernel runtime (worker pool + ownership tables), built
     /// lazily on the first sharded allocation cycle so serial runs pay
     /// nothing (see [`crate::shard`]).
@@ -88,6 +94,8 @@ impl Sim {
             flight_record: None,
             ff_cycles_skipped: 0,
             ff_jumps: 0,
+            check_sweeps: 0,
+            check_deep_sweeps: 0,
             shard_rt: None,
         }
     }
@@ -212,8 +220,14 @@ impl Sim {
         if self.violation.is_some() {
             return;
         }
+        // Phase-profiler brackets: pure observers (wall clock in, nothing
+        // out), each a single bool check when the cycle is not sampled.
+        self.core.prof_begin_cycle(self.core.cycle());
         self.endpoints.pre_cycle(&mut self.core);
-        match self.mechanism.control(&mut self.core) {
+        self.core.prof_mark(Phase::Endpoints);
+        let action = self.mechanism.control(&mut self.core);
+        self.core.prof_mark(Phase::Mechanism);
+        match action {
             ControlAction::Normal => self.allocate(),
             ControlAction::Freeze => {}
             ControlAction::Forced(moves, kind) => {
@@ -223,22 +237,32 @@ impl Sim {
                         return;
                     }
                 }
-                self.core.apply_forced(&moves, kind)
+                self.core.apply_forced(&moves, kind);
+                self.core.prof_mark(Phase::Forced);
             }
         }
         // All of this cycle's vacates (allocation or forced) have
         // committed — deliver the surviving wake fires before the
         // validators look at the parked set.
         self.core.flush_wakes();
+        self.core.prof_mark(Phase::PhaseA);
         self.instrument();
+        self.core.prof_mark(Phase::Mechanism);
         self.core.telemetry_tick();
+        self.core.prof_mark(Phase::Telemetry);
         if self.core.config().checks.any_per_cycle() {
+            self.check_sweeps += 1;
+            if check::deep_sweep_due(&self.core.config().checks, self.core.cycle()) {
+                self.check_deep_sweeps += 1;
+            }
             if let Err(v) = check::run_checks(&self.core) {
                 self.fail(v);
                 return;
             }
+            self.core.prof_mark(Phase::Checks);
         }
         self.core.advance_cycle();
+        self.core.prof_end_cycle();
     }
 
     /// Dispatches a `Normal` cycle's allocation to the serial or the
@@ -338,15 +362,209 @@ impl Sim {
         self.ff_jumps
     }
 
+    /// Cycles on which the cheap per-cycle invariant tier ran.
+    pub fn check_sweeps(&self) -> u64 {
+        self.check_sweeps
+    }
+
+    /// Cycles on which the deep invariant tier additionally ran.
+    pub fn check_deep_sweeps(&self) -> u64 {
+        self.check_deep_sweeps
+    }
+
+    /// Reconfigures the kernel phase profiler's sampling cadence for an
+    /// assembled simulation (0 disables; see
+    /// [`crate::metrics::MetricsConfig::profile_period`]). A pure
+    /// observer — results are bit-identical at any cadence, and the
+    /// metrics differential tests prove it.
+    pub fn set_profile_period(&mut self, period: u64) {
+        self.core.set_profile_period(period);
+    }
+
+    /// Collects every counter family the simulation maintains into one
+    /// [`MetricsSnapshot`] under the stable `drain_` namespace: `Stats`
+    /// (packets, latency histograms, mechanism events), wake-scheduler
+    /// counters, fast-forward accounting, shard fabric traffic,
+    /// check-tier sweeps, telemetry/trace volume, occupancy gauges, and
+    /// — when enabled — the phase profiler's attribution.
+    ///
+    /// Collection is pull-based: the counters are maintained anyway, so
+    /// taking a snapshot costs nothing between scrapes and cannot
+    /// perturb the simulation.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        let s = &self.core.stats;
+        m.counter(
+            "drain_packets_generated_total",
+            "Packets created by endpoints",
+            s.generated,
+        );
+        m.counter(
+            "drain_packets_injected_total",
+            "Packets that entered the network",
+            s.injected,
+        );
+        m.counter(
+            "drain_packets_ejected_total",
+            "Packets delivered to an ejection queue",
+            s.ejected,
+        );
+        m.histogram(
+            "drain_net_latency_cycles",
+            "Network latency, injection to ejection",
+            s.net_latency.snapshot(),
+        );
+        m.histogram(
+            "drain_total_latency_cycles",
+            "Total latency, creation to ejection",
+            s.total_latency.snapshot(),
+        );
+        m.counter("drain_hops_total", "Hops over ejected packets", s.hops);
+        m.counter(
+            "drain_misroutes_total",
+            "Hops that did not reduce distance to the destination",
+            s.misroutes,
+        );
+        m.counter(
+            "drain_forced_hops_total",
+            "Hops forced by drains or spins",
+            s.forced_hops,
+        );
+        m.counter(
+            "drain_flit_hops_total",
+            "Flit-link traversals",
+            s.flit_hops,
+        );
+        m.counter("drain_drains_total", "Drain windows executed", s.drains);
+        m.counter(
+            "drain_full_drains_total",
+            "Full drains executed",
+            s.full_drains,
+        );
+        m.counter("drain_spins_total", "Spin moves executed", s.spins);
+        m.counter(
+            "drain_probe_hops_total",
+            "Probe message hops sent (SPIN)",
+            s.probe_hops,
+        );
+        m.counter(
+            "drain_deadlocks_detected_total",
+            "Structural deadlocks detected",
+            s.deadlocks_detected,
+        );
+        m.counter(
+            "drain_oracle_resolutions_total",
+            "Deadlocks resolved by the oracle mechanism",
+            s.oracle_resolutions,
+        );
+        let w = self.core.wake_counters();
+        for (event, v) in [
+            ("parks", w.parks),
+            ("skips", w.skips),
+            ("wakes", w.wakes),
+            ("spurious_wakes", w.spurious_wakes),
+            ("wake_alls", w.wake_alls),
+            ("stalls", w.stalls),
+        ] {
+            m.counter_labeled(
+                "drain_wake_events_total",
+                "Wake-driven Phase A scheduler events",
+                &[("event", event)],
+                v,
+            );
+        }
+        m.counter(
+            "drain_ff_cycles_skipped_total",
+            "Idle cycles elided by fast-forward",
+            self.ff_cycles_skipped,
+        );
+        m.counter(
+            "drain_ff_jumps_total",
+            "Fast-forward jumps taken",
+            self.ff_jumps,
+        );
+        if let Some(rt) = &self.shard_rt {
+            m.counter(
+                "drain_shard_fabric_flits_total",
+                "Flits that crossed a shard boundary through the fabric",
+                rt.fabric_flits(),
+            );
+            m.counter(
+                "drain_sharded_cycles_total",
+                "Cycles allocated by the sharded kernel",
+                rt.sharded_cycles(),
+            );
+        }
+        m.counter_labeled(
+            "drain_check_sweeps_total",
+            "Invariant check sweeps by tier",
+            &[("tier", "cheap")],
+            self.check_sweeps,
+        );
+        m.counter_labeled(
+            "drain_check_sweeps_total",
+            "Invariant check sweeps by tier",
+            &[("tier", "deep")],
+            self.check_deep_sweeps,
+        );
+        let telem = self.core.telemetry();
+        m.counter(
+            "drain_telemetry_samples_taken_total",
+            "Telemetry samples taken",
+            telem.samples_taken(),
+        );
+        m.counter(
+            "drain_telemetry_samples_dropped_total",
+            "Telemetry samples dropped by the retention bound",
+            telem.samples_dropped(),
+        );
+        let tr = self.core.tracer();
+        m.counter(
+            "drain_trace_events_total",
+            "Trace events emitted",
+            tr.emitted(),
+        );
+        m.counter(
+            "drain_trace_sink_errors_total",
+            "Trace sink write errors",
+            tr.sink_errors(),
+        );
+        m.gauge(
+            "drain_cycle",
+            "Current simulation cycle",
+            self.core.cycle() as f64,
+        );
+        m.gauge(
+            "drain_packets_in_network",
+            "Packets currently inside VC buffers",
+            self.core.packets_in_network() as f64,
+        );
+        m.gauge(
+            "drain_live_packets",
+            "Live packets anywhere (queues + network)",
+            self.core.live_packets() as f64,
+        );
+        m.gauge(
+            "drain_ejection_backlog",
+            "Packets parked in ejection queues",
+            self.core.ejection_backlog() as f64,
+        );
+        self.core
+            .profiler()
+            .collect(&mut m, self.core.config().shards);
+        m
+    }
+
     /// Attempts an idle-cycle fast-forward after a completed step: when
     /// the network, the mechanism and the endpoints all certify that every
     /// cycle before `t` would be a pure no-op, jump the clock straight to
     /// `min(t, end)`. Returns whether the clock moved.
     fn maybe_fast_forward(&mut self, end: u64) -> bool {
         // The network's certificate also encodes the gates: fast-forward
-        // disabled, tracing/telemetry/per-cycle checks active, queued
-        // injections, ejection backlog, or an allocation-eligible VC all
-        // yield `None`.
+        // disabled, tracing/per-cycle checks active, queued injections,
+        // ejection backlog, or an allocation-eligible VC all yield
+        // `None`. Telemetry no longer blocks the jump — elided sampling
+        // boundaries collapse into one exact boundary sample below.
         let Some(net) = self.core.net_idle_until() else {
             return false;
         };
@@ -374,6 +592,11 @@ impl Sim {
             return false;
         }
         let skipped = t - now;
+        // The jump elides cycles `[now, t)`; if a telemetry sampling
+        // boundary falls in there, emit one sample stamped at the last
+        // such boundary before the clock moves (the state is frozen
+        // across the jump, so the sample is exact).
+        self.core.telemetry_note_jump(t);
         self.core.fast_forward_to(t);
         // `skipped` mechanism control calls (each of which would have
         // returned `Normal`) were elided; let it rebase countdowns.

@@ -40,6 +40,7 @@ use drain_topology::{distance::DistanceMap, IntoSharedTopology, LinkId, NodeId, 
 
 use crate::config::SimConfig;
 use crate::mechanism::{ForcedKind, ForcedMove};
+use crate::metrics::{Phase, PhaseProfiler};
 use crate::packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
 use crate::routing::{Candidate, RouteCtx, Routing, TargetVc, WakeProfile};
 use crate::stats::{Stats, WakeCounters};
@@ -295,6 +296,9 @@ pub struct SimCore {
     tracer: Tracer,
     /// Telemetry sampler (see [`crate::telemetry`]).
     telem: Telemetry,
+    /// Kernel phase profiler (see [`crate::metrics`]). Pure observer:
+    /// reads the wall clock, writes only its own accumulators.
+    prof: PhaseProfiler,
 }
 
 impl SimCore {
@@ -318,6 +322,7 @@ impl SimCore {
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
         let tracer = Tracer::new(&config.trace);
         let telem = Telemetry::new(&config.trace, m, n);
+        let prof = PhaseProfiler::new(config.metrics.profile_period);
         let slots = m * total_vcs;
         SimCore {
             vc_occ: vec![EMPTY; slots],
@@ -366,6 +371,7 @@ impl SimCore {
             wake: WakeCounters::default(),
             tracer,
             telem,
+            prof,
             dmap,
             topo,
             config,
@@ -468,6 +474,54 @@ impl SimCore {
     /// Mutable telemetry sampler (drain the sample series).
     pub fn telemetry_mut(&mut self) -> &mut Telemetry {
         &mut self.telem
+    }
+
+    /// The kernel phase profiler (sampled wall-time attribution; see
+    /// [`crate::metrics::PhaseProfiler`]).
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.prof
+    }
+
+    /// Reconfigures the phase profiler's sampling cadence (0 disables;
+    /// accumulated attribution is reset). Profiling is a pure observer,
+    /// so flipping it mid-run cannot perturb results.
+    pub fn set_profile_period(&mut self, period: u64) {
+        self.config.metrics.profile_period = period;
+        self.prof = PhaseProfiler::new(period);
+    }
+
+    /// Whether the current cycle is being phase-profiled (shard planners
+    /// read this through the shared `&SimCore` to decide whether to time
+    /// themselves).
+    #[inline(always)]
+    pub(crate) fn prof_active(&self) -> bool {
+        self.prof.active()
+    }
+
+    /// Opens the profiler's view of `cycle` (no-op unless profiling).
+    #[inline]
+    pub(crate) fn prof_begin_cycle(&mut self, cycle: u64) {
+        self.prof.begin_cycle(cycle);
+    }
+
+    /// Attributes wall time since the last mark to `phase` (no-op unless
+    /// the cycle is sampled).
+    #[inline]
+    pub(crate) fn prof_mark(&mut self, phase: Phase) {
+        self.prof.mark(phase);
+    }
+
+    /// Closes the profiler's view of the cycle.
+    #[inline]
+    pub(crate) fn prof_end_cycle(&mut self) {
+        self.prof.end_cycle();
+    }
+
+    /// Credits `nanos` of planning wall time to `shard` (reported by the
+    /// sharded kernel's merge for sampled cycles).
+    #[inline]
+    pub(crate) fn prof_note_shard(&mut self, shard: usize, nanos: u64) {
+        self.prof.note_shard(shard, nanos);
     }
 
     /// Credits `n` credit-stall observations to `router` (the shard merge
@@ -1068,7 +1122,11 @@ impl SimCore {
     /// change, no stat update. That holds exactly when
     ///
     /// * every observer needing per-cycle ticks is off (fast-forward gate,
-    ///   tracing, telemetry, per-cycle invariant checks),
+    ///   tracing, per-cycle invariant checks). Telemetry sampling is *not*
+    ///   on this list: the network is frozen across an idle jump, so the
+    ///   driver emits one boundary sample stamped at the last elided
+    ///   window boundary instead (see [`SimCore::telemetry_note_jump`]) —
+    ///   exact, and without giving up the jump,
     /// * all injection queues are empty (a queued head draws one RNG
     ///   sample per cycle) and no ejection backlog remains (endpoint
     ///   models consume deliveries on per-cycle ticks),
@@ -1087,7 +1145,6 @@ impl SimCore {
     pub(crate) fn net_idle_until(&self) -> Option<u64> {
         if !self.config.fast_forward
             || self.tracer.enabled()
-            || self.telem.active()
             || self.config.checks.any_per_cycle()
         {
             return None;
@@ -1117,10 +1174,42 @@ impl SimCore {
         if !self.telem.active() {
             return;
         }
-        let period = self.telem.period();
-        if !(self.cycle + 1).is_multiple_of(period) {
+        if !(self.cycle + 1).is_multiple_of(self.telem.period()) {
             return;
         }
+        self.telemetry_sample_at(self.cycle);
+    }
+
+    /// Emits the telemetry sample an idle fast-forward jump to `t` would
+    /// otherwise elide. The jump skips cycles `(now, t)`; any sampling
+    /// boundary inside that stretch would have sampled *this exact
+    /// state* (the jump is only legal because nothing changes), so one
+    /// sample stamped at the last elided boundary is exact — the delta
+    /// counters compress the idle stretch into a single flat window.
+    /// Called by the driver *before* the clock jumps.
+    pub(crate) fn telemetry_note_jump(&mut self, t: u64) {
+        if !self.telem.active() {
+            return;
+        }
+        let period = self.telem.period();
+        // Boundaries are cycles s with (s + 1) % period == 0. Cycle t
+        // itself is stepped normally, so the elided range is [cycle, t).
+        // The last boundary below t:
+        let last = (t / period) * period;
+        if last == 0 {
+            return;
+        }
+        let s = last - 1;
+        if s >= self.cycle && s < t {
+            self.telemetry_sample_at(s);
+        }
+    }
+
+    /// Sweeps occupancy and queue depths into one telemetry sample
+    /// stamped `stamp` (the state sweep reads the *current* state; the
+    /// stamp may predate `self.cycle` only when the state is provably
+    /// unchanged since, as in [`SimCore::telemetry_note_jump`]).
+    fn telemetry_sample_at(&mut self, stamp: u64) {
         let n = self.topo.num_nodes();
         // A recycled scratch vector — sampling allocates nothing in steady
         // state (see [`Telemetry::checkout_routers`]).
@@ -1137,7 +1226,7 @@ impl SimCore {
         for (q, queue) in self.ej.iter().enumerate() {
             routers[q / self.config.num_classes].ej_depth += queue.len() as u32;
         }
-        self.telem.push_sample(self.cycle, routers);
+        self.telem.push_sample(stamp, routers);
     }
 
     /// Normal allocation: gathers requests, arbitrates one grant per output
@@ -1198,6 +1287,7 @@ impl SimCore {
                 }
             }
         }
+        self.prof.mark(Phase::PhaseA);
 
         // Phase B: ejection grants — one per (node, class) queue with space.
         eject_reqs.sort_unstable_by_key(|&(q, idx, _)| (q, idx));
@@ -1246,6 +1336,7 @@ impl SimCore {
                 self.req_buf[li] = reqs;
             }
         }
+        self.prof.mark(Phase::PhaseB);
     }
 
     /// Phase A body for one occupied VC buffer: eject request, or a routed

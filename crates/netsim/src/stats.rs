@@ -1,6 +1,8 @@
 //! Simulation statistics: latency (mean and tails), throughput, mechanism
 //! event counters.
 
+use crate::metrics::{HistogramSnapshot, HIST_BUCKETS};
+
 /// Bucketed latency histogram: exact up to `EXACT` cycles, then power-of-two
 /// buckets — enough resolution for the paper's mean and 99th-percentile
 /// latency plots.
@@ -111,6 +113,37 @@ impl LatencyHistogram {
     /// 99th-percentile latency (paper Fig 15).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    /// Digests the histogram into a fixed-size [`HistogramSnapshot`]
+    /// (cumulative counts at power-of-two bounds). One pass over the
+    /// bucket arrays into a stack array — cheap enough to call on the
+    /// metrics sampling cadence without cloning the 2048-entry exact
+    /// array per scrape.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            le: [0; HIST_BUCKETS],
+        };
+        // Exact value v satisfies `v <= 2^k - 1` iff bit_length(v) <= k,
+        // so its first (non-cumulative) bin is bit_length(v) ∈ 0..=11.
+        for (v, &n) in self.exact.iter().enumerate() {
+            let bin = (u64::BITS - (v as u64).leading_zeros()) as usize;
+            snap.le[bin] += n;
+        }
+        // Coarse bucket b covers [2^b, 2^(b+1) - 1]: everything in it is
+        // `<= 2^(b+1) - 1`, i.e. first bin b + 1 (the last bucket's bin
+        // lands on +Inf).
+        for (b, &n) in self.coarse.iter().enumerate() {
+            snap.le[(b + 1).min(HIST_BUCKETS - 1)] += n;
+        }
+        // Prefix-sum the non-cumulative bins into cumulative `le` counts.
+        for k in 1..HIST_BUCKETS {
+            snap.le[k] += snap.le[k - 1];
+        }
+        snap
     }
 
     /// Clears all samples.
@@ -314,6 +347,29 @@ mod tests {
         assert_eq!(h.quantile(0.5), 4095);
         // The top quantile is clamped to the observed max, not 2^k - 1.
         assert_eq!(h.quantile(1.0), 100_000);
+    }
+
+    #[test]
+    fn snapshot_matches_direct_recording() {
+        let mut h = LatencyHistogram::new();
+        let mut direct = HistogramSnapshot::default();
+        for v in [0u64, 1, 2, 3, 7, 100, 2047, 2048, 5000, 100_000] {
+            h.record(v);
+            direct.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, direct.count);
+        assert_eq!(snap.sum, direct.sum);
+        assert_eq!(snap.max, direct.max);
+        // Exact samples land in identical bins; coarse samples may shift
+        // up by at most one bucket (the coarse array only knows the
+        // power-of-two range). For the values above they agree exactly.
+        assert_eq!(snap.le, direct.le);
+        assert_eq!(snap.le[HIST_BUCKETS - 1], snap.count);
+        // Cumulative monotonicity.
+        for k in 1..HIST_BUCKETS {
+            assert!(snap.le[k] >= snap.le[k - 1]);
+        }
     }
 
     #[test]

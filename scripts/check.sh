@@ -58,6 +58,19 @@ echo "==> kernel benchmark (smoke mode: untimed low + saturated presets)"
 scripts/bench_kernel.sh --test
 cargo test -p drain-bench --test golden_pin -q
 
+echo "==> drain-metrics smoke (registry + phase profiler + exposition round-trip)"
+# The binary re-parses its merged JSONL stream and its Prometheus file
+# (round-trip must be byte-identical) and asserts the merged phase
+# attribution sums to ~100%; the profiler-is-invisible differentials get
+# a named CI line alongside it.
+cargo build --release -p drain-bench --bin drain_metrics --quiet
+./target/release/drain_metrics --mesh 4x4 --cycles 8192 --points 2 \
+    --out results/metrics_smoke
+cargo test -p drain-bench --test metrics -q
+# Golden pins must reproduce with the profiler sampling at the default
+# cadence — metrics are pure observers and this holds them to it.
+DRAIN_PROFILE=64 cargo test -p drain-bench --test golden_pin -q
+
 echo "==> wake-scheduler smoke (wake-vs-dense differentials + dense golden pins)"
 # The golden-pin run above already gates the wake-driven Phase A scheduler
 # (it is the config default). Here the wake-vs-dense differentials get a

@@ -20,6 +20,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use drain_bench::scheme::DrainVariant;
 use drain_bench::Scheme;
 use drain_netsim::traffic::SyntheticPattern;
+use drain_netsim::RngMode;
 use drain_topology::faults::FaultInjector;
 use drain_topology::Topology;
 
@@ -36,7 +37,15 @@ fn bench(c: &mut Criterion) {
     let topo = Topology::mesh(8, 8);
     let mut g = c.benchmark_group("sim_kernel");
     g.sample_size(10);
-    for (preset, rate, cycles) in [("low", 0.005, 20_000u64), ("saturated", 0.40, 5_000)] {
+    // `saturated_keyed` is the tentpole comparison: same point as
+    // `saturated` under the keyed counter-based RNG (`RngMode::Keyed`),
+    // where parked heads draw nothing and the draw stream needs no
+    // serial bookkeeping.
+    for (preset, rate, cycles, mode) in [
+        ("low", 0.005, 20_000u64, RngMode::Stream),
+        ("saturated", 0.40, 5_000, RngMode::Stream),
+        ("saturated_keyed", 0.40, 5_000, RngMode::Keyed),
+    ] {
         g.throughput(Throughput::Elements(cycles));
         for scheme in Scheme::headline() {
             g.bench_with_input(
@@ -45,14 +54,16 @@ fn bench(c: &mut Criterion) {
                 |b, &s| {
                     b.iter_batched(
                         || {
-                            s.synthetic_sim(
+                            let mut sim = s.synthetic_sim(
                                 &topo,
                                 true,
                                 SyntheticPattern::UniformRandom,
                                 rate,
                                 1,
                                 Scheme::DEFAULT_EPOCH,
-                            )
+                            );
+                            sim.set_rng_mode(mode);
+                            sim
                         },
                         |mut sim| {
                             sim.run(cycles);
@@ -120,30 +131,40 @@ fn bench_irregular(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_kernel_irregular");
     g.sample_size(10);
     g.throughput(Throughput::Elements(cycles));
-    for scheme in Scheme::headline() {
-        g.bench_with_input(
-            BenchmarkId::new("congested", scheme_id(scheme)),
-            &scheme,
-            |b, &s| {
-                b.iter_batched(
-                    || {
-                        s.synthetic_sim(
-                            &topo,
-                            false,
-                            SyntheticPattern::UniformRandom,
-                            0.25,
-                            11,
-                            512,
-                        )
-                    },
-                    |mut sim| {
-                        sim.run(cycles);
-                        sim.stats().ejected
-                    },
-                    BatchSize::PerIteration,
-                );
-            },
-        );
+    // `congested_keyed`: the same congested point under the keyed RNG —
+    // the regime where parked heads skipping their draws compounds with
+    // skipping their routing work.
+    for (preset, mode) in [
+        ("congested", RngMode::Stream),
+        ("congested_keyed", RngMode::Keyed),
+    ] {
+        for scheme in Scheme::headline() {
+            g.bench_with_input(
+                BenchmarkId::new(preset, scheme_id(scheme)),
+                &scheme,
+                |b, &s| {
+                    b.iter_batched(
+                        || {
+                            let mut sim = s.synthetic_sim(
+                                &topo,
+                                false,
+                                SyntheticPattern::UniformRandom,
+                                0.25,
+                                11,
+                                512,
+                            );
+                            sim.set_rng_mode(mode);
+                            sim
+                        },
+                        |mut sim| {
+                            sim.run(cycles);
+                            sim.stats().ejected
+                        },
+                        BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
     }
     g.finish();
 }

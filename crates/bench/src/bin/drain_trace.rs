@@ -130,6 +130,9 @@ struct TraceRun {
     flight_record: Option<PathBuf>,
     sink_errors: u64,
     metrics: drain_netsim::MetricsSnapshot,
+    /// RNG mode the point ran under (honours `DRAIN_RNG`); selects the
+    /// `drain_rng_draws_total{mode}` rows of the scheduler table.
+    rng_mode: &'static str,
 }
 
 fn telemetry_jsonl(samples: &[TelemetrySample], period: u64) -> String {
@@ -248,6 +251,7 @@ fn main() {
                 flight_record: sim.flight_record().map(|p| p.to_path_buf()),
                 sink_errors: sim.core().tracer().sink_errors(),
                 metrics: sim.metrics_snapshot(),
+                rng_mode: sim.core().config().rng_mode.label(),
                 samples: sim.core_mut().telemetry_mut().take_samples(),
             }
         },
@@ -378,6 +382,13 @@ fn main() {
         m.counter_value_labeled("drain_wake_events_total", &[("event", event)])
             .unwrap_or(0)
     };
+    // Draw-volume rows carry the mode in the counter name so a stream
+    // and a keyed run are distinguishable in the same CSV schema.
+    let rng_mode = run.rng_mode;
+    let draws = |site: &str| {
+        m.counter_value_labeled("drain_rng_draws_total", &[("site", site), ("mode", rng_mode)])
+            .unwrap_or(0)
+    };
     let sched_rows: Vec<Vec<String>> = [
         ("vc_parks", wake("parks")),
         ("vc_skips", wake("skips")),
@@ -393,6 +404,9 @@ fn main() {
     ]
     .into_iter()
     .map(|(name, v)| vec![name.to_string(), v.to_string()])
+    .chain(["phase_a", "injection", "mechanism"].into_iter().map(|s| {
+        vec![format!("rng_draws_{s}_{rng_mode}"), draws(s).to_string()]
+    }))
     .collect();
     let sched_header = ["counter", "total"];
     print_table(

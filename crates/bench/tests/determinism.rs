@@ -11,15 +11,24 @@
 //! 5. the wake-driven Phase A scheduler is invisible: the same seeded
 //!    point produces identical [`drain_netsim::Stats`], the same final
 //!    cycle and byte-identical traces with blocked-VC parking on and with
-//!    the dense re-route-every-cycle scan forced, at every shard count.
+//!    the dense re-route-every-cycle scan forced, at every shard count,
+//! 6. the keyed counter-based RNG (`RngMode::Keyed`) is deterministic by
+//!    construction: the same seeded point produces identical
+//!    [`drain_netsim::Stats`], the same final cycle, the same draw
+//!    counts and byte-identical traces across every cell of the
+//!    K ∈ {1, 2, 4, 8} × wake on/off × fast-forward on/off × profiler
+//!    cadence matrix — and the sharded planners produce exactly the
+//!    serial kernel's draw volume (no census replay).
 
 use drain_bench::engine::SweepEngine;
 use drain_bench::cache::ResultCache;
 use drain_bench::sweep;
+use drain_bench::scheme::DrainVariant;
 use drain_bench::sweep::plan::{load_sweep_specs, PointSpec, TopoSpec};
 use drain_bench::{Scale, Scheme};
+use drain_netsim::rng::NUM_DRAW_SITES;
 use drain_netsim::traffic::SyntheticPattern;
-use drain_netsim::{Stats, TraceConfig, TraceSink};
+use drain_netsim::{DrawSite, RngMode, Stats, TraceConfig, TraceSink};
 use drain_topology::faults::FaultInjector;
 use drain_topology::Topology;
 
@@ -385,6 +394,178 @@ fn wake_scheduler_keeps_traces_byte_identical() {
                 "{}: trace bytes must not depend on the wake scheduler at {k} shards",
                 scheme.label()
             );
+        }
+    }
+}
+
+/// One seeded keyed-mode point across the full determinism matrix:
+/// shard count, wake scheduler, fast-forward gate, profiler cadence.
+/// Returns the per-site draw counts too, so callers can prove the
+/// sharded planners draw exactly the serial volume (no census replay)
+/// and that parked heads draw nothing.
+fn point_stats_keyed(
+    scheme: Scheme,
+    rate: f64,
+    shards: usize,
+    wake: bool,
+    ff: bool,
+    profile_period: u64,
+) -> (Stats, u64, [u64; NUM_DRAW_SITES]) {
+    let topo = irregular_topo();
+    let mut sim =
+        scheme.synthetic_sim(&topo, false, SyntheticPattern::UniformRandom, rate, 11, 512);
+    sim.set_rng_mode(RngMode::Keyed);
+    sim.set_shards(shards);
+    sim.set_wake_scheduler(wake);
+    sim.set_fast_forward(ff);
+    sim.set_profile_period(profile_period);
+    sim.run(6_000);
+    (
+        sim.stats().clone(),
+        sim.core().cycle(),
+        sim.core().rng_draw_counts(),
+    )
+}
+
+/// Keyed-mode differential: every headline scheme at a low and a
+/// saturated rate must produce identical `Stats`, the same final cycle
+/// *and the same per-site draw counts* at K ∈ {1, 2, 4, 8} with
+/// fast-forward on and off. Equal draw counts across K are the census
+/// retirement made observable: a stream-mode sharded planner replays
+/// the whole census K times, a keyed planner sweeps only owned slots.
+#[test]
+fn keyed_mode_is_bit_identical_across_shards_and_fast_forward() {
+    for scheme in Scheme::headline() {
+        for rate in [0.01, 0.35] {
+            let (serial, serial_cycle, serial_draws) =
+                point_stats_keyed(scheme, rate, 1, true, true, 0);
+            assert!(serial.ejected > 0, "{} at rate {rate} delivered nothing", scheme.label());
+            for k in [2usize, 4, 8] {
+                for ff in [true, false] {
+                    let (sharded, cycle, draws) =
+                        point_stats_keyed(scheme, rate, k, true, ff, 0);
+                    assert_eq!(
+                        serial,
+                        sharded,
+                        "{} at rate {rate}: keyed stats diverged at shards={k} ff={ff}",
+                        scheme.label()
+                    );
+                    assert_eq!(serial_cycle, cycle);
+                    assert_eq!(
+                        serial_draws,
+                        draws,
+                        "{} at rate {rate}: keyed draw counts diverged at shards={k} ff={ff} \
+                         (sharded planners must not replay the census)",
+                        scheme.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Keyed-mode wake differential: parking is invisible to results, and
+/// parked heads provably draw *nothing* — at a saturated rate the
+/// wake-scheduled run performs strictly fewer Phase A draws than the
+/// dense scan while producing identical `Stats`. (In stream mode the
+/// two schedulers draw the same count by contract; the draw saving is
+/// the keyed mode's whole point.)
+#[test]
+fn keyed_wake_scheduler_is_bit_identical_and_parked_heads_draw_nothing() {
+    for scheme in Scheme::headline() {
+        for rate in [0.01, 0.35] {
+            for k in [1usize, 4] {
+                let (dense, dense_cycle, dense_draws) =
+                    point_stats_keyed(scheme, rate, k, false, true, 0);
+                let (wake, wake_cycle, wake_draws) =
+                    point_stats_keyed(scheme, rate, k, true, true, 0);
+                assert_eq!(
+                    dense,
+                    wake,
+                    "{} at rate {rate}, {k} shards: keyed stats must not depend on the wake scheduler",
+                    scheme.label()
+                );
+                assert_eq!(dense_cycle, wake_cycle);
+                assert_eq!(
+                    dense_draws[DrawSite::Injection.index()],
+                    wake_draws[DrawSite::Injection.index()],
+                    "wake scheduling must not change injection draws"
+                );
+                if rate > 0.1 {
+                    assert!(
+                        wake_draws[DrawSite::PhaseA.index()]
+                            < dense_draws[DrawSite::PhaseA.index()],
+                        "{} saturated at {k} shards: parked heads must skip their draws \
+                         (wake {} vs dense {})",
+                        scheme.label(),
+                        wake_draws[DrawSite::PhaseA.index()],
+                        dense_draws[DrawSite::PhaseA.index()]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Keyed-mode profiler-cadence differential: the phase profiler is a
+/// pure observer at any cadence, and keyed draws keyed on the actual
+/// cycle number cannot be perturbed by it.
+#[test]
+fn keyed_mode_is_bit_identical_across_profile_cadence() {
+    let scheme = Scheme::Drain(DrainVariant::Vn1Vc2);
+    let (base, base_cycle, base_draws) = point_stats_keyed(scheme, 0.35, 2, true, true, 0);
+    for period in [1u64, 64, 1024] {
+        let (got, cycle, draws) = point_stats_keyed(scheme, 0.35, 2, true, true, period);
+        assert_eq!(base, got, "profiler cadence {period} perturbed keyed stats");
+        assert_eq!(base_cycle, cycle);
+        assert_eq!(base_draws, draws);
+    }
+}
+
+/// Keyed-mode trace differential: with event capture on, the serial and
+/// the 2-/4-/8-shard kernels must yield byte-identical JSONL, wake on
+/// and off.
+#[test]
+fn keyed_mode_keeps_traces_byte_identical() {
+    let topo = irregular_topo();
+    for scheme in Scheme::headline() {
+        let traced = |shards: usize, wake: bool| -> String {
+            let mut sim = scheme.synthetic_sim_traced(
+                &topo,
+                false,
+                SyntheticPattern::UniformRandom,
+                0.10,
+                11,
+                512,
+                1,
+                TraceConfig::events_on(),
+            );
+            sim.set_rng_mode(RngMode::Keyed);
+            sim.set_shards(shards);
+            sim.set_wake_scheduler(wake);
+            sim.set_trace_sink(TraceSink::Memory(Vec::new()));
+            sim.run(2_000);
+            let events = sim
+                .core_mut()
+                .tracer_mut()
+                .take_memory()
+                .expect("memory sink installed");
+            assert!(!events.is_empty());
+            events
+                .iter()
+                .map(|e| e.to_jsonl() + "\n")
+                .collect()
+        };
+        let serial = traced(1, true);
+        for k in [2usize, 4, 8] {
+            for wake in [true, false] {
+                assert_eq!(
+                    serial,
+                    traced(k, wake),
+                    "{}: keyed trace bytes diverged at shards={k} wake={wake}",
+                    scheme.label()
+                );
+            }
         }
     }
 }

@@ -41,6 +41,10 @@
 //!   histograms under one stable `drain_` namespace, Prometheus and
 //!   JSONL exposition) and the sampled kernel phase profiler. Pure
 //!   observers: enabling them cannot perturb results.
+//! * [`rng`] — the two determinism contracts for stochastic tie-breaks:
+//!   the serial draw stream (`Stream`, the default) and the keyed
+//!   counter-based mixer (`Keyed`), under which draws are pure functions
+//!   of `(seed, cycle, site, id)`.
 //!
 //! # Examples
 //!
@@ -80,6 +84,7 @@ pub mod deadlock;
 pub mod mechanism;
 pub mod metrics;
 pub mod packet;
+pub mod rng;
 pub mod routing;
 pub mod shard;
 pub mod sim;
@@ -96,6 +101,7 @@ pub use metrics::{
     MetricsSnapshot, Phase, PhaseProfiler,
 };
 pub use packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
+pub use rng::{DrawSite, RngMode};
 pub use shard::{ShardFabric, ShardMap, MAX_SHARDS};
 pub use sim::{RunOutcome, Sim};
 pub use state::{SimCore, VcRef, VcState};

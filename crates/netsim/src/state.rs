@@ -42,6 +42,7 @@ use crate::config::SimConfig;
 use crate::mechanism::{ForcedKind, ForcedMove};
 use crate::metrics::{Phase, PhaseProfiler};
 use crate::packet::{Location, MessageClass, Packet, PacketId, PacketSlab};
+use crate::rng::{mix, DrawSite, RngMode, NUM_DRAW_SITES};
 use crate::routing::{Candidate, RouteCtx, Routing, TargetVc, WakeProfile};
 use crate::stats::{Stats, WakeCounters};
 use crate::telemetry::Telemetry;
@@ -234,6 +235,11 @@ pub struct SimCore {
     /// [`SimCore::ejection_backlog`]).
     ej_backlog: usize,
     rng: ChaCha8Rng,
+    /// Per-[`DrawSite`] tie-break samples produced so far (either mode;
+    /// surfaced as `drain_rng_draws_total{site,mode}`). In stream mode
+    /// under the sharded kernel this counts every census replay draw —
+    /// the honest O(shards × heads) cost keyed mode removes.
+    rng_draws: [u64; NUM_DRAW_SITES],
     /// Bitmap over (node, class) ejection-queue indices with at least one
     /// parked packet (lets consumers pop deliveries without sweeping
     /// every queue; ascending bit order is the sweep order).
@@ -257,9 +263,10 @@ pub struct SimCore {
     /// Ejection-request scratch.
     eject_buf: Vec<(usize, usize, PacketId)>,
     /// Wake scheduler: per-VC wake deadline. `0` = fresh/active (route on
-    /// visit); `> now` = parked (Phase A skips routing, the head only
-    /// consumes its RNG draw); `0 < v <= now` = woken, routes on the next
-    /// visit. `pub(crate)` read-only for the shard planners' census.
+    /// visit); `> now` = parked (Phase A skips routing; in stream mode the
+    /// head still consumes its serial RNG draw, in keyed mode it draws
+    /// nothing); `0 < v <= now` = woken, routes on the next visit.
+    /// `pub(crate)` read-only for the shard planners' census.
     pub(crate) vc_wake_at: Vec<u64>,
     /// Wake scheduler: per-output-link subscriber lists, fired (drained)
     /// by [`SimCore::vacate_slot`] on that link's input buffers.
@@ -347,6 +354,7 @@ impl SimCore {
             inj_head_dest: vec![0; n * classes],
             ej_backlog: 0,
             rng,
+            rng_draws: [0; NUM_DRAW_SITES],
             ej_bits: vec![0; (n * classes).div_ceil(64)],
             idx_link: (0..slots).map(|i| (i / total_vcs) as u32).collect(),
             idx_vc: (0..slots)
@@ -823,19 +831,67 @@ impl SimCore {
         node.index() * self.config.num_classes + class.index()
     }
 
-    /// Snapshot of the RNG at its current stream position. Shard planners
-    /// clone the cycle-start RNG, replay the full global draw schedule
-    /// (consuming every draw, using only their own shard's), and the
-    /// merge asserts all clones ended at the same position (see
-    /// [`crate::shard`]).
+    /// Snapshot of the RNG at its current stream position. In stream
+    /// mode, shard planners clone the cycle-start RNG, replay the full
+    /// global draw schedule (consuming every draw, using only their own
+    /// shard's), and the merge asserts all clones ended at the same
+    /// position (see [`crate::shard`]). Keyed mode never calls this —
+    /// there is no stream position to keep.
     pub(crate) fn rng_clone(&self) -> ChaCha8Rng {
+        debug_assert_eq!(
+            self.config.rng_mode,
+            RngMode::Stream,
+            "keyed mode must not clone the serial stream"
+        );
         self.rng.clone()
     }
 
-    /// Replaces the RNG with `rng` — the merge step adopts shard 0's
-    /// advanced clone so the stream position matches the serial kernel's.
+    /// Replaces the RNG with `rng` — the stream-mode merge step adopts
+    /// shard 0's advanced clone so the stream position matches the
+    /// serial kernel's.
     pub(crate) fn set_rng(&mut self, rng: ChaCha8Rng) {
         self.rng = rng;
+    }
+
+    /// One tie-break sample for `site`, identity `id` (see
+    /// [`crate::rng`]): the next serial stream draw in stream mode, the
+    /// pure `mix(seed, cycle, site, id)` in keyed mode. The identity is
+    /// ignored by the stream — order of calls is its key — and the
+    /// stream is untouched by keyed mode.
+    #[inline]
+    pub(crate) fn draw_sample(&mut self, site: DrawSite, id: u64) -> u64 {
+        self.rng_draws[site.index()] += 1;
+        match self.config.rng_mode {
+            RngMode::Stream => self.rng.gen::<u64>(),
+            RngMode::Keyed => mix(self.config.seed, self.cycle, site, id),
+        }
+    }
+
+    /// Per-[`DrawSite`] tie-break samples produced so far, in
+    /// [`DrawSite::ALL`] order (either mode; the sharded stream-mode
+    /// kernel counts every census replay draw).
+    pub fn rng_draw_counts(&self) -> [u64; NUM_DRAW_SITES] {
+        self.rng_draws
+    }
+
+    /// Credits `draws` per-site samples computed outside the core (the
+    /// shard planners work against a frozen `&SimCore`).
+    pub(crate) fn note_rng_draws(&mut self, draws: [u64; NUM_DRAW_SITES]) {
+        for (acc, d) in self.rng_draws.iter_mut().zip(draws) {
+            *acc += d;
+        }
+    }
+
+    /// A tie-break sample for a deadlock-freedom mechanism's stochastic
+    /// choice, keyed by a mechanism-chosen identity (e.g. a router or
+    /// epoch number). Rides the serial stream in stream mode — calling
+    /// it shifts the draw schedule of everything after it, which is the
+    /// coupling [`RngMode::Keyed`] exists to remove — and the dedicated
+    /// [`DrawSite::Mechanism`] key family in keyed mode, where it is
+    /// schedule-free. No built-in mechanism draws randomness today; the
+    /// hook keeps future mechanism randomness off the routing streams.
+    pub fn mechanism_sample(&mut self, id: u64) -> u64 {
+        self.draw_sample(DrawSite::Mechanism, id)
     }
 
     /// Free slots in a node's per-class injection queue.
@@ -1127,9 +1183,10 @@ impl SimCore {
     ///   driver emits one boundary sample stamped at the last elided
     ///   window boundary instead (see [`SimCore::telemetry_note_jump`]) —
     ///   exact, and without giving up the jump,
-    /// * all injection queues are empty (a queued head draws one RNG
-    ///   sample per cycle) and no ejection backlog remains (endpoint
-    ///   models consume deliveries on per-cycle ticks),
+    /// * all injection queues are empty (a queued head re-routes — and in
+    ///   stream mode draws one serial RNG sample — every cycle) and no
+    ///   ejection backlog remains (endpoint models consume deliveries on
+    ///   per-cycle ticks),
     /// * no occupied VC is allocation-eligible before `t` (an eligible
     ///   but blocked VC has `ready_at <= now`, which yields `None` — so
     ///   congested cycles are never skipped).
@@ -1270,7 +1327,7 @@ impl SimCore {
                     self.packets.get(pid).dest,
                     "stale head mirror"
                 );
-                let sample = self.rng.gen::<u64>();
+                let sample = self.draw_sample(DrawSite::Injection, q as u64);
                 let mut cands = std::mem::take(&mut self.cand_buf);
                 let routed = self.injection_route(node, class, sample, &mut cands);
                 self.cand_buf = cands;
@@ -1340,9 +1397,11 @@ impl SimCore {
     }
 
     /// Phase A body for one occupied VC buffer: eject request, or a routed
-    /// move request (one RNG draw per visited ready non-ejecting head —
-    /// the determinism contract's draw schedule). Reads only the VC arena
-    /// and its hot mirrors; the packet slab is never touched here.
+    /// move request. Stream mode draws one serial sample per visited ready
+    /// non-ejecting head (the contract-v1 draw schedule); keyed mode draws
+    /// `mix(seed, cycle, PhaseA, idx)` only for heads that actually route.
+    /// Reads only the VC arena and its hot mirrors; the packet slab is
+    /// never touched here.
     #[inline]
     fn phase_a_vc(
         &mut self,
@@ -1362,10 +1421,18 @@ impl SimCore {
             eject_reqs.push((self.qidx(here, class), idx, pid));
             return;
         }
-        // The determinism contract: every visited ready non-ejecting head
-        // consumes exactly one draw — parked or not — so the wake scheduler
-        // never shifts the draw schedule.
-        let sample = self.rng.gen::<u64>();
+        // Stream mode's determinism contract: every visited ready
+        // non-ejecting head consumes exactly one serial draw — parked or
+        // not — so the wake scheduler never shifts the draw schedule.
+        // Keyed mode's draws are position-free, so a parked head's draw
+        // is simply never computed (the arithmetic the stream contract
+        // forced the wake scheduler to keep paying).
+        let keyed = self.config.rng_mode == RngMode::Keyed;
+        let mut sample = if keyed {
+            0
+        } else {
+            self.draw_sample(DrawSite::PhaseA, idx as u64)
+        };
         // Parked fast path: a head whose last routing pass proved no
         // feasible move, with a wake deadline still in the future, routes
         // the same `None` the dense scan would recompute — skip the ctx
@@ -1377,6 +1444,9 @@ impl SimCore {
                 self.telem.note_credit_stalls(here.index(), 1);
             }
             return;
+        }
+        if keyed {
+            sample = self.draw_sample(DrawSite::PhaseA, idx as u64);
         }
         let mut cands = std::mem::take(&mut self.cand_buf);
         match self.phase_a_route_or_park(idx, link, vc, sample, &mut cands) {
@@ -1786,6 +1856,18 @@ impl SimCore {
         self.gate_parks = 0;
         self.gate_skips = 0;
         self.gate_next = (self.cycle / GATE_WINDOW + 1) * GATE_WINDOW;
+    }
+
+    /// Switches the tie-break sample source (see [`crate::rng`]) for an
+    /// assembled core and re-seeds the serial stream to its cycle-0
+    /// position. Meant for pre-run configuration: the two modes produce
+    /// different (equally valid) random sequences, so switching mid-run
+    /// splices two unrelated draw histories — deterministic, but pinned
+    /// by neither mode's golden family.
+    pub fn set_rng_mode(&mut self, mode: RngMode) {
+        self.config.rng_mode = mode;
+        self.rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        self.rng_draws = [0; NUM_DRAW_SITES];
     }
 
     /// Deep-sweep validation of the wake scheduler (paired with
@@ -2291,7 +2373,10 @@ impl SimCore {
     }
 
     /// Direct RNG access for endpoint models that want the core's seeded
-    /// stream.
+    /// stream. This is the *serial* stream: drawing from it shifts the
+    /// stream-mode draw schedule of everything after it, and keyed mode
+    /// never reads it — schedule-free mechanism/endpoint randomness
+    /// should go through [`SimCore::mechanism_sample`] instead.
     pub fn rng(&mut self) -> &mut impl Rng {
         &mut self.rng
     }

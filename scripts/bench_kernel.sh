@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Times the per-cycle simulator kernel (the `sim_kernel` criterion bench:
 # low-injection, saturated, and congested-irregular presets over the
-# headline schemes) and records the medians in BENCH_kernel.json at the
-# repo root.
+# headline schemes, plus keyed-RNG variants of the saturated and
+# congested presets) and records the medians in BENCH_kernel.json at the
+# repo root. Every preset entry carries an "rng_mode" field
+# ("stream" or "keyed") naming the determinism contract it ran under;
+# the *_keyed presets are the same points as their stream twins with
+# RngMode::Keyed, so keyed-vs-stream is a same-session comparison.
 #
 # Usage:
 #   scripts/bench_kernel.sh             bench + write BENCH_kernel.json
@@ -14,6 +18,12 @@
 #                                       (see EXPERIMENTS.md "Kernel
 #                                       performance") so the next default
 #                                       run reports speedups against it
+#   scripts/bench_kernel.sh --rng       interleaved keyed-vs-stream
+#                                       timing (kernel_time binary,
+#                                       best-of-7, both modes alternated
+#                                       in one process) written
+#                                       commit-stamped to
+#                                       BENCH_kernel_rng.json
 #   scripts/bench_kernel.sh --shards    bench the sim_kernel_shards group
 #                                       (saturated mesh(16,16) at shard
 #                                       counts 1/2/4/8) and merge the
@@ -26,8 +36,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-declare -A PRESET_CYCLES=( [low]=20000 [saturated]=5000 [irregular]=2000 )
-PRESETS=(low saturated irregular)
+declare -A PRESET_CYCLES=(
+    [low]=20000 [saturated]=5000 [saturated_keyed]=5000
+    [irregular]=2000 [irregular_keyed]=2000
+)
+PRESETS=(low saturated saturated_keyed irregular irregular_keyed)
 SCHEMES=(escapevc spin drain)
 SHARD_CYCLES=1500
 
@@ -36,8 +49,17 @@ SHARD_CYCLES=1500
 # scheduler's target regime).
 preset_dir() { # <preset>
     case "$1" in
-        irregular) echo "sim_kernel_irregular/congested" ;;
-        *)         echo "sim_kernel/$1" ;;
+        irregular)       echo "sim_kernel_irregular/congested" ;;
+        irregular_keyed) echo "sim_kernel_irregular/congested_keyed" ;;
+        *)               echo "sim_kernel/$1" ;;
+    esac
+}
+
+# Determinism contract a preset runs under (see DESIGN.md §11).
+preset_mode() { # <preset>
+    case "$1" in
+        *_keyed) echo keyed ;;
+        *)       echo stream ;;
     esac
 }
 
@@ -69,6 +91,29 @@ median_ns() { # <preset> <scheme>  (relative to target/criterion/<group>)
 per_cycle() { # <total-ns> <cycles>
     awk -v t="$1" -v c="$2" 'BEGIN { printf "%.1f", t / c }'
 }
+
+if [[ "${1:-}" == "--rng" ]]; then
+    # Same-session keyed-vs-stream comparison: the kernel_time harness
+    # alternates RngMode::Stream and RngMode::Keyed within one process
+    # (best-of-7 each), so container drift between measurement windows
+    # cannot fabricate the ratio. Criterion's *_keyed presets above
+    # remain the per-scheme medians; this file records the floors.
+    cargo build --release -p drain-bench --bin kernel_time --quiet
+    lines=$(./target/release/kernel_time --preset all --reps 7)
+    # The sharded points are where the keyed contract retires real work
+    # (stream-mode planners replay the global draw census in every
+    # shard; keyed planners sweep only owned slots).
+    for k in 1 4 8; do
+        lines+=$'\n'$(./target/release/kernel_time --preset mesh16 --reps 7 --shards "$k")
+    done
+    printf '{"commit":"%s","bench":"kernel_time","unit":"ns/cycle","points":[\n' \
+        "$commit" > BENCH_kernel_rng.json
+    printf '%s\n' "$lines" | sed '$!s/$/,/' >> BENCH_kernel_rng.json
+    printf ']}\n' >> BENCH_kernel_rng.json
+    echo "wrote BENCH_kernel_rng.json"
+    cat BENCH_kernel_rng.json
+    exit 0
+fi
 
 if [[ "${1:-}" == "--shards" ]]; then
     cargo bench -p drain-bench --bench sim_kernel -- 'sim_kernel_shards|sim_kernel_mesh16'
@@ -115,9 +160,10 @@ median3() {
     printf '%s\n' "$@" | sort -g | sed -n 2p
 }
 
-# Pull a recorded per-preset median back out of a previous baseline file.
+# Pull a recorded per-preset median back out of a previous baseline file
+# (tolerating baselines captured before the "rng_mode" field existed).
 baseline_median() { # <preset>
-    sed -n "s/.*\"$1\":{\"cycles\":[0-9]*,\"median_ns_per_cycle\":\([0-9.]*\).*/\1/p" \
+    sed -n "s/.*\"$1\":{\"cycles\":[0-9]*,\(\"rng_mode\":\"[a-z]*\",\)\{0,1\}\"median_ns_per_cycle\":\([0-9.]*\).*/\2/p" \
         "$BASELINE" | head -n1
 }
 
@@ -136,7 +182,8 @@ for preset in "${PRESETS[@]}"; do
     done
     med=$(median3 "${vals[@]}")
     PRESET_MEDIAN[$preset]=$med
-    presets_json+="\"$preset\":{\"cycles\":$cycles,\"median_ns_per_cycle\":$med,"
+    presets_json+="\"$preset\":{\"cycles\":$cycles,\"rng_mode\":\"$(preset_mode "$preset")\","
+    presets_json+="\"median_ns_per_cycle\":$med,"
     presets_json+="\"schemes\":{${schemes_json%,}}},"
 done
 

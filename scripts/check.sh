@@ -79,4 +79,22 @@ echo "==> wake-scheduler smoke (wake-vs-dense differentials + dense golden pins)
 cargo test -p drain-bench --test determinism -q wake_scheduler
 DRAIN_PHASE_A=dense cargo test -p drain-bench --test golden_pin -q
 
+echo "==> keyed-RNG smoke (keyed pins + differentials + keyed fuzz leg)"
+# The keyed counter-based RNG (DESIGN.md §11, determinism contract v2)
+# has its own golden-pin family and differential suite: keyed pins must
+# reproduce at K ∈ {1, 2, 4, 8} × wake on/off × fast-forward on/off,
+# the sharded planners must perform exactly the serial draw count (no
+# census replay), and keyed draws must be invariant under visit-order
+# permutations and arbitrary shard partitions. All keyed tests set
+# their mode explicitly, so these filters are env-independent; the
+# DRAIN_RNG=keyed env path is exercised by the fuzz leg, which also
+# re-proves sabotage detection is mode-independent.
+cargo test -p drain-bench --test golden_pin -q keyed
+cargo test -p drain-bench --test determinism -q keyed
+cargo test -p drain-netsim --test rng_props -q
+DRAIN_RNG=keyed ./target/release/drain_fuzz --smoke \
+    --json results/drain_fuzz_smoke_keyed.json
+./target/release/drain_fuzz --smoke --rng-mode keyed --seed-fault \
+    --json results/drain_fuzz_smoke_keyed_fault.json
+
 echo "All checks passed."
